@@ -1,0 +1,348 @@
+package piggyback
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure
+// (see DESIGN.md §4 for the experiment index), plus micro-benchmarks of
+// the algorithmic building blocks and ablations of the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches use the Quick scale so the full suite completes in
+// minutes; cmd/experiments -scale default regenerates the recorded
+// EXPERIMENTS.md tables.
+
+import (
+	"testing"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/chitchat"
+	"piggyback/internal/densest"
+	"piggyback/internal/experiments"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/nosymr"
+	"piggyback/internal/partition"
+	"piggyback/internal/refine"
+	"piggyback/internal/sampling"
+	"piggyback/internal/store"
+	"piggyback/internal/workload"
+)
+
+// ---- Evaluation tables and figures (§4) ----
+
+func BenchmarkDatasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Datasets(experiments.Quick)
+	}
+}
+
+func BenchmarkFig4PredictedImprovement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4(experiments.Quick)
+	}
+}
+
+func BenchmarkFig5IncrementalUpdates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(experiments.Quick)
+	}
+}
+
+func BenchmarkFig6PrototypeThroughput(b *testing.B) {
+	sc := experiments.Quick
+	sc.PrototypeRequests = 2000
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(sc)
+	}
+}
+
+func BenchmarkFig7PlacementAwareThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(experiments.Quick)
+	}
+}
+
+func BenchmarkFig8LoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(experiments.Quick)
+	}
+}
+
+func BenchmarkFig9aRandomWalkSamples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(experiments.Quick, experiments.RandomWalkSampling)
+	}
+}
+
+func BenchmarkFig9bBFSSamples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(experiments.Quick, experiments.BFSSampling)
+	}
+}
+
+// ---- Algorithm micro-benchmarks ----
+
+func benchGraph() (*Graph, *Rates) {
+	g := FlickrLikeGraph(800, 7)
+	return g, LogDegreeRates(g, 5)
+}
+
+func BenchmarkHybridSchedule(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.Hybrid(g, r)
+	}
+}
+
+func BenchmarkParallelNosy(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nosy.Solve(g, r, nosy.Config{})
+	}
+}
+
+func BenchmarkParallelNosySingleWorker(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nosy.Solve(g, r, nosy.Config{Workers: 1})
+	}
+}
+
+func BenchmarkParallelNosyMapReduce(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nosymr.Solve(g, r, nosy.Config{})
+	}
+}
+
+func BenchmarkChitChat(b *testing.B) {
+	g := FlickrLikeGraph(400, 7)
+	r := LogDegreeRates(g, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chitchat.Solve(g, r, chitchat.Config{})
+	}
+}
+
+func BenchmarkDensestSubgraphPeel(b *testing.B) {
+	g := TwitterLikeGraph(2000, 3)
+	// Build one large hub instance: the highest-degree node.
+	var hub NodeID
+	best := -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.InDegree(NodeID(u)) + g.OutDegree(NodeID(u)); d > best {
+			best, hub = d, NodeID(u)
+		}
+	}
+	r := LogDegreeRates(g, 5)
+	xs := g.InNeighbors(hub)
+	ys := g.OutNeighbors(hub)
+	inst := densest.Instance{N: len(xs) + len(ys) + 1}
+	inst.Weight = make([]float64, inst.N)
+	hv := int32(len(xs) + len(ys))
+	for i, x := range xs {
+		inst.Weight[i] = r.Prod[x]
+		inst.Edges = append(inst.Edges, [2]int32{int32(i), hv})
+	}
+	for j, y := range ys {
+		inst.Weight[len(xs)+j] = r.Cons[y]
+		inst.Edges = append(inst.Edges, [2]int32{hv, int32(len(xs) + j)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		densest.Peel(inst)
+	}
+}
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TwitterLikeGraph(2000, int64(i))
+	}
+}
+
+func BenchmarkRandomWalkSample(b *testing.B) {
+	g := TwitterLikeGraph(3000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampling.RandomWalk(g, 5000, int64(i))
+	}
+}
+
+func BenchmarkPlacementCost(b *testing.B) {
+	g, r := benchGraph()
+	s := baseline.Hybrid(g, r)
+	a := partition.Hash(g.NumNodes(), 256, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.Cost(s, r, a)
+	}
+}
+
+func BenchmarkPrototypeRequests(b *testing.B) {
+	g, r := benchGraph()
+	pn, _ := ParallelNosy(g, r, NosyConfig{})
+	c, err := store.NewCluster(pn, store.Options{Servers: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	trace := store.GenerateTrace(r, 4096, 1)
+	b.ResetTimer()
+	cl := c.NewClient()
+	for i := 0; i < b.N; i++ {
+		req := trace[i%len(trace)]
+		if req.IsUpdate {
+			cl.Update(req.User, store.Event{User: req.User, ID: int64(i), TS: int64(i)})
+		} else {
+			cl.Query(req.User)
+		}
+	}
+}
+
+// ---- Ablations (design choices from DESIGN.md §6) ----
+
+// Partial commits: phase 3's sub-hub-graph rescue vs all-or-nothing locks.
+func BenchmarkAblationNoPartialCommits(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := nosy.Solve(g, r, nosy.Config{DisablePartialCommits: true})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(g, r)/res.Schedule.Cost(r), "improvement")
+			b.ReportMetric(float64(len(res.Iterations)), "iterations")
+		}
+	}
+}
+
+func BenchmarkAblationWithPartialCommits(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := nosy.Solve(g, r, nosy.Config{})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(g, r)/res.Schedule.Cost(r), "improvement")
+			b.ReportMetric(float64(len(res.Iterations)), "iterations")
+		}
+	}
+}
+
+// Cross-edge bound b (§4.2): tight vs default.
+func BenchmarkAblationCrossEdgeBound16(b *testing.B) {
+	g, r := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := nosy.Solve(g, r, nosy.Config{MaxCrossEdges: 16})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(g, r)/res.Schedule.Cost(r), "improvement")
+		}
+	}
+}
+
+// CHITCHAT oracle: exact brute force vs factor-2 peeling on a small graph.
+func BenchmarkAblationChitChatExactOracle(b *testing.B) {
+	g := SocialGraph(SocialGraphConfig{
+		Nodes: 60, AvgFollows: 4, TriadProb: 0.6, Reciprocity: 0.4, Seed: 5,
+	})
+	r := LogDegreeRates(g, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := chitchat.Solve(g, r, chitchat.Config{ExactOracle: true})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(g, r)/s.Cost(r), "improvement")
+		}
+	}
+}
+
+func BenchmarkAblationChitChatPeelOracle(b *testing.B) {
+	g := SocialGraph(SocialGraphConfig{
+		Nodes: 60, AvgFollows: 4, TriadProb: 0.6, Reciprocity: 0.4, Seed: 5,
+	})
+	r := LogDegreeRates(g, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := chitchat.Solve(g, r, chitchat.Config{})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(g, r)/s.Cost(r), "improvement")
+		}
+	}
+}
+
+// Null-model ablation: piggybacking feeds on the co-subscription
+// structure of social graphs. On a uniform random (ER) graph with the
+// same density, hubs barely exist and the gain collapses to ≈1.05×,
+// versus ≈2× on the social graph — DESIGN.md's substitution argument for
+// trusting the synthetic Twitter/Flickr stand-ins. (Interestingly, pure
+// preferential attachment without triadic closure still yields hubs:
+// everyone co-subscribes to the same celebrities; only uniform wiring
+// destroys the effect.)
+func BenchmarkAblationSocialVsER(b *testing.B) {
+	gSoc := FlickrLikeGraph(600, 9)
+	gER := graphgen.ErdosRenyi(600, gSoc.NumEdges(), 9)
+	rSoc := LogDegreeRates(gSoc, 5)
+	rER := LogDegreeRates(gER, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		soc := nosy.Solve(gSoc, rSoc, nosy.Config{})
+		er := nosy.Solve(gER, rER, nosy.Config{})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(gSoc, rSoc)/soc.Schedule.Cost(rSoc), "improvement-social")
+			b.ReportMetric(baseline.HybridCost(gER, rER)/er.Schedule.Cost(rER), "improvement-er")
+		}
+	}
+}
+
+// Workload-model ablation: the paper ties activity to degree (log-degree
+// model); Zipf activity independent of degree tests whether the gain
+// survives when celebrities are not necessarily the busiest producers.
+func BenchmarkAblationWorkloadModels(b *testing.B) {
+	g := FlickrLikeGraph(600, 9)
+	rLog := LogDegreeRates(g, 5)
+	rZipf := ZipfRates(g.NumNodes(), 1.5, 5, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logRes := nosy.Solve(g, rLog, nosy.Config{})
+		zipfRes := nosy.Solve(g, rZipf, nosy.Config{})
+		if i == 0 {
+			b.ReportMetric(baseline.HybridCost(g, rLog)/logRes.Schedule.Cost(rLog), "improvement-logdeg")
+			b.ReportMetric(baseline.HybridCost(g, rZipf)/zipfRes.Schedule.Cost(rZipf), "improvement-zipf")
+		}
+	}
+}
+
+// Refinement sweep: free-coverage recovery on a truncated PARALLELNOSY
+// run (converged runs leave nothing — tested in internal/refine).
+func BenchmarkRefineSweep(b *testing.B) {
+	g, r := benchGraph()
+	base := nosy.Solve(g, r, nosy.Config{MaxIterations: 2}).Schedule
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		res := refine.Run(s, r)
+		if i == 0 {
+			b.ReportMetric(float64(res.Recovered), "recovered")
+		}
+	}
+}
+
+// Worker-scaling of PARALLELNOSY on a fixed graph.
+func BenchmarkNosyWorkers(b *testing.B) {
+	g, r := benchGraph()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nosy.Solve(g, r, nosy.Config{Workers: workers})
+			}
+		})
+	}
+}
+
+// Keep the unused-import compiler happy for types used only in helpers.
+var (
+	_ = graph.Edge{}
+	_ = workload.DefaultReadWriteRatio
+)

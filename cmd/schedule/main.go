@@ -1,0 +1,118 @@
+// Command schedule computes a request schedule for a social graph and
+// reports its cost against the baselines.
+//
+// Usage:
+//
+//	schedule -graph twitter.graph -algo nosy -ratio 5
+//	graphgen -preset flickr -nodes 2000 | schedule -algo chitchat
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/chitchat"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphio"
+	"piggyback/internal/nosy"
+	"piggyback/internal/nosymr"
+	"piggyback/internal/schedio"
+	"piggyback/internal/workload"
+)
+
+func main() {
+	var (
+		path  = flag.String("graph", "", "graph file (binary or text; default stdin, binary)")
+		text  = flag.Bool("text", false, "graph file is in text format")
+		algo  = flag.String("algo", "nosy", "algorithm: nosy | nosymr | chitchat | hybrid | pushall | pullall")
+		ratio = flag.Float64("ratio", workload.DefaultReadWriteRatio, "read/write ratio for the log-degree workload")
+		iters = flag.Bool("iters", false, "print per-iteration stats (nosy/nosymr)")
+		out   = flag.String("o", "", "save the schedule (schedio format) for cmd/feedstore")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*path, *text)
+	if err != nil {
+		fatalf("loading graph: %v", err)
+	}
+	r := workload.LogDegree(g, *ratio)
+
+	var s *core.Schedule
+	var trace []nosy.IterationStat
+	switch *algo {
+	case "nosy":
+		res := nosy.Solve(g, r, nosy.Config{TraceCosts: *iters})
+		s, trace = res.Schedule, res.Iterations
+	case "nosymr":
+		res := nosymr.Solve(g, r, nosy.Config{TraceCosts: *iters})
+		s, trace = res.Schedule, res.Iterations
+	case "chitchat":
+		s = chitchat.Solve(g, r, chitchat.Config{})
+	case "hybrid":
+		s = baseline.Hybrid(g, r)
+	case "pushall":
+		s = baseline.PushAll(g)
+	case "pullall":
+		s = baseline.PullAll(g)
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+
+	if err := s.Validate(); err != nil {
+		fatalf("schedule invalid: %v", err)
+	}
+	cost := s.Cost(r)
+	hybrid := baseline.HybridCost(g, r)
+	counts := s.Counts()
+	fmt.Printf("graph:        %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("algorithm:    %s (read/write ratio %.1f)\n", *algo, *ratio)
+	fmt.Printf("cost:         %.1f\n", cost)
+	fmt.Printf("hybrid cost:  %.1f\n", hybrid)
+	fmt.Printf("improvement:  %.3fx\n", hybrid/cost)
+	fmt.Printf("push edges:   %d\n", counts.Push)
+	fmt.Printf("pull edges:   %d\n", counts.Pull)
+	fmt.Printf("hub-covered:  %d\n", counts.Covered)
+	if *iters {
+		for i, it := range trace {
+			fmt.Printf("iteration %2d: candidates=%d commits=%d+%d covered=%d cost=%.1f\n",
+				i+1, it.Candidates, it.FullCommits, it.PartialCommits, it.CoveredEdges, it.Cost)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		if err := schedio.Write(f, s); err != nil {
+			fatalf("saving schedule: %v", err)
+		}
+		fmt.Printf("schedule saved to %s\n", *out)
+	}
+}
+
+func loadGraph(path string, text bool) (*graph.Graph, error) {
+	var r io.Reader = bufio.NewReader(os.Stdin)
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = bufio.NewReader(f)
+	}
+	if text {
+		return graphio.ReadText(r)
+	}
+	return graphio.ReadBinary(r)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "schedule: "+format+"\n", args...)
+	os.Exit(1)
+}

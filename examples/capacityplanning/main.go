@@ -1,0 +1,35 @@
+// Capacityplanning: pick the request schedule for a deployment size.
+// Small systems batch most requests on few servers, so the hybrid
+// baseline is fine; past a few hundred servers the piggybacking schedule
+// wins (the Figure 7 crossover). This example sweeps system sizes with
+// the placement-aware cost model and prints the recommendation.
+package main
+
+import (
+	"fmt"
+
+	"piggyback"
+)
+
+func main() {
+	g := piggyback.FlickrLikeGraph(2500, 11)
+	r := piggyback.LogDegreeRates(g, 5)
+	pn, _ := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
+	ff := piggyback.Hybrid(g, r)
+
+	fmt.Printf("%8s  %14s  %14s  %8s  %s\n",
+		"servers", "PN throughput", "FF throughput", "ratio", "recommendation")
+	for servers := 1; servers <= 8192; servers *= 4 {
+		a := piggyback.HashPartition(g.NumNodes(), servers, 0)
+		tpPN := piggyback.NormalizedThroughput(pn, r, a)
+		tpFF := piggyback.NormalizedThroughput(ff, r, a)
+		pick := "hybrid (FF)"
+		if tpPN > tpFF {
+			pick = "ParallelNosy"
+		}
+		fmt.Printf("%8d  %14.4f  %14.4f  %8.3f  %s\n",
+			servers, tpPN, tpFF, tpPN/tpFF, pick)
+	}
+
+	fmt.Println("\nthroughput normalized to the single-server optimum (Figure 7)")
+}

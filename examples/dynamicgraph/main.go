@@ -1,0 +1,64 @@
+// Dynamicgraph: maintain an optimized schedule while the social graph
+// churns (follows and unfollows), and decide when re-optimization pays
+// off — the §3.3 incremental-update policy behind Figure 5.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"piggyback"
+)
+
+func main() {
+	full := piggyback.FlickrLikeGraph(1200, 3)
+	r := piggyback.LogDegreeRates(full, 5)
+
+	// Start from an optimized schedule over half the edges.
+	edges := full.EdgeList()
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	half := len(edges) / 2
+	base := piggyback.GraphFromEdges(full.NumNodes(), edges[:half])
+	sched, _ := piggyback.ParallelNosy(base, r, piggyback.NosyConfig{})
+	m := piggyback.NewMaintainer(sched, r)
+	fmt.Printf("optimized %d-edge graph; cost %.1f\n\n", base.NumEdges(), m.Cost())
+
+	// Apply the other half in growing batches, tracking degradation.
+	fmt.Printf("%10s  %18s  %14s\n", "new edges", "incremental ratio", "static ratio")
+	added := 0
+	for _, batch := range []int{half / 100, half / 10, half / 2} {
+		for added < batch {
+			e := edges[half+added]
+			if err := m.AddEdge(e.From, e.To); err != nil {
+				panic(err)
+			}
+			added++
+		}
+		if err := m.Validate(); err != nil {
+			panic(err)
+		}
+		cur := piggyback.GraphFromEdges(full.NumNodes(), edges[:half+added])
+		hybrid := piggyback.HybridCost(cur, r)
+		static, _ := piggyback.ParallelNosy(cur, r, piggyback.NosyConfig{})
+		fmt.Printf("%10d  %18.3f  %14.3f\n",
+			added, hybrid/m.Cost(), hybrid/static.Cost(r))
+	}
+
+	// Unfollows: removing a hub's support edge re-serves the covered
+	// edges directly; validity is preserved throughout.
+	removed := 0
+	for _, e := range edges[:half] {
+		if removed >= 50 {
+			break
+		}
+		if err := m.RemoveEdge(e.From, e.To); err == nil {
+			removed++
+		}
+	}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nafter %d unfollows the schedule is still valid; cost %.1f\n", removed, m.Cost())
+	fmt.Println("rule of thumb from Figure 5: re-optimize once roughly a third of the graph is new")
+}

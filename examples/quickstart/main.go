@@ -1,0 +1,44 @@
+// Quickstart: generate a social graph, compute schedules with every
+// algorithm, and compare their predicted throughput cost.
+package main
+
+import (
+	"fmt"
+
+	"piggyback"
+)
+
+func main() {
+	// A Twitter-shaped graph with 2 000 users and the paper's reference
+	// read/write ratio of 5.
+	g := piggyback.TwitterLikeGraph(2000, 42)
+	r := piggyback.LogDegreeRates(g, 5)
+	fmt.Printf("graph: %d users, %d follow edges\n\n", g.NumNodes(), g.NumEdges())
+
+	type entry struct {
+		name string
+		s    *piggyback.Schedule
+	}
+	pn, iters := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
+	schedules := []entry{
+		{"push-all", piggyback.PushAll(g)},
+		{"pull-all", piggyback.PullAll(g)},
+		{"hybrid (FeedingFrenzy)", piggyback.Hybrid(g, r)},
+		{"ParallelNosy", pn},
+		{"ChitChat", piggyback.ChitChat(g, r, piggyback.ChitChatConfig{})},
+	}
+
+	hybridCost := piggyback.HybridCost(g, r)
+	fmt.Printf("%-24s %12s %8s %8s %8s %8s\n",
+		"schedule", "cost", "vs-FF", "pushes", "pulls", "hubs")
+	for _, e := range schedules {
+		if err := e.s.Validate(); err != nil {
+			panic(err) // every schedule must satisfy bounded staleness
+		}
+		c := e.s.Counts()
+		fmt.Printf("%-24s %12.1f %8.3f %8d %8d %8d\n",
+			e.name, e.s.Cost(r), hybridCost/e.s.Cost(r), c.Push, c.Pull, c.Covered)
+	}
+
+	fmt.Printf("\nParallelNosy converged in %d iterations\n", len(iters))
+}

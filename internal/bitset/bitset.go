@@ -1,0 +1,75 @@
+// Package bitset provides a dense fixed-size bit set used to track
+// per-edge membership (push/pull/covered sets) without hashing.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity zero; use New to allocate capacity.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set able to hold bits 0..n-1, all initially clear.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// Range calls fn for every set bit in increasing order. It stops early if
+// fn returns false.
+func (s *Set) Range(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi<<6 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := New(0)
+	if s.Count() != 0 || s.Len() != 0 {
+		t.Fatalf("empty set: count=%d len=%d", s.Count(), s.Len())
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d clear after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+	}
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatalf("Count after Reset = %d", s.Count())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(70)
+	s.Set(5)
+	c := s.Clone()
+	c.Set(6)
+	if s.Test(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Test(5) {
+		t.Fatal("Clone lost bit 5")
+	}
+}
+
+func TestRangeOrder(t *testing.T) {
+	s := New(300)
+	want := []int{2, 63, 64, 150, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	s.Range(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 100; i++ {
+		s.Set(i)
+	}
+	n := 0
+	s.Range(func(int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Range visited %d bits after early stop, want 10", n)
+	}
+}
+
+// Property: a Set agrees with a map[int]bool reference under a random
+// operation sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		s := New(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				s.Set(i)
+				ref[i] = true
+			case 1:
+				s.Clear(i)
+				delete(ref, i)
+			case 2:
+				if s.Test(i) != ref[i] {
+					return false
+				}
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if !s.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package chitchat implements the CHITCHAT approximation algorithm (§3.1).
+//
+// CHITCHAT maps the DISSEMINATION problem to weighted SETCOVER: the ground
+// set is the edges of the social graph, and the candidate collection
+// contains (a) singleton edges served directly at the hybrid cost
+// c*(u→v) = min(rp(u), rc(v)) and (b) hub-graphs G(X, w, Y), which pay for
+// the pushes X→w and pulls w→Y and cover, for free, every cross-edge
+// X→Y present in the graph. The greedy step — find the candidate with the
+// lowest cost per newly covered element — is solved per hub by the
+// weighted densest-subgraph oracle of package densest (Lemma 1), giving
+// an overall O(ln n) approximation (Theorem 4).
+//
+// The paper's Algorithm 1 refreshes the oracle output of every affected
+// hub after each selection; we use the standard lazy-greedy variant
+// instead: candidates are re-evaluated against the current uncovered set
+// when they reach the head of the priority queue, and committed only if
+// their refreshed ratio is still the best. The committed choice is the
+// same greedy choice up to ties; the lazy form just avoids recomputing
+// oracles whose turn never comes.
+package chitchat
+
+import (
+	"math"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/bitset"
+	"piggyback/internal/core"
+	"piggyback/internal/densest"
+	"piggyback/internal/graph"
+	"piggyback/internal/pq"
+	"piggyback/internal/workload"
+)
+
+// Config tunes CHITCHAT. The zero value uses the defaults.
+type Config struct {
+	// MaxCrossEdges bounds the number of cross-edges materialized per
+	// hub-graph instance, mirroring the bound b of §3.2/§4.2. 0 means
+	// DefaultMaxCrossEdges.
+	MaxCrossEdges int
+	// ExactOracle replaces the peeling oracle with brute-force subset
+	// enumeration (instances up to 24 nodes; larger hub-graphs fall back
+	// to peeling). Only sensible on tiny graphs; used by ablation benches.
+	ExactOracle bool
+}
+
+// DefaultMaxCrossEdges matches the bound used for the Twitter runs in §4.2.
+const DefaultMaxCrossEdges = 100000
+
+// Solve computes a request schedule for g under rates r. The result is
+// always valid (Theorem 1): every edge is pushed, pulled, or covered
+// through a hub.
+func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
+	if cfg.MaxCrossEdges == 0 {
+		cfg.MaxCrossEdges = DefaultMaxCrossEdges
+	}
+	n := g.NumNodes()
+	m := g.NumEdges()
+	s := core.NewSchedule(g)
+	if m == 0 {
+		return s
+	}
+
+	uncovered := bitset.New(m)
+	for e := 0; e < m; e++ {
+		uncovered.Set(e)
+	}
+	remaining := m
+	sc := &scratch{yMark: make([]int64, n), yPos: make([]int32, n)}
+
+	// Priority queue over candidate ids: 0..n-1 are hub candidates
+	// (hub-graphs centered on node w), n..n+m-1 are singleton edges.
+	q := pq.New(n + m)
+
+	// Singleton candidates never change ratio: c*(e) per single element.
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		q.Push(n+int(e), baseline.EdgeCost(r, u, v))
+		return true
+	})
+
+	// Hub candidates, initially evaluated against the full ground set.
+	for w := 0; w < n; w++ {
+		if res, ok := evalHub(g, r, s, uncovered, graph.NodeID(w), cfg, sc); ok {
+			q.Push(w, res.ratio())
+		}
+	}
+
+	// refresh re-evaluates the hub-graphs whose oracle output may have
+	// IMPROVED after schedule changes on the given edges — Algorithm 1's
+	// queue maintenance, restricted to where it matters. A hub-graph's
+	// ratio improves only when a support-edge weight drops to zero, and a
+	// changed edge (u, v) is a support edge only of the hub-graphs
+	// centered at u (as the pull w → y) or at v (as a push x → w).
+	// Hub-graphs that merely lost cross-edge elements got WORSE; their
+	// stale (too low) queue entries are corrected by the re-evaluation at
+	// pop time, which requeues them at the fresh ratio.
+	// Hubs that drop out of the queue are exhausted for good: Z only
+	// shrinks, so a hub with nothing coverable never regains value. The
+	// one exception is the hub that just committed — it was popped for
+	// processing and may still have residual coverage to offer, so it is
+	// force-re-evaluated.
+	touched := make(map[graph.NodeID]bool, 64)
+	refresh := func(edges []graph.EdgeID, committed graph.NodeID) {
+		for w := range touched {
+			delete(touched, w)
+		}
+		for _, e := range edges {
+			touched[g.EdgeSource(e)] = true
+			touched[g.EdgeTarget(e)] = true
+		}
+		if committed >= 0 {
+			touched[committed] = true
+		}
+		for w := range touched {
+			if w != committed && !q.Contains(int(w)) {
+				continue // exhausted hub; do not resurrect
+			}
+			if res, ok := evalHub(g, r, s, uncovered, w, cfg, sc); ok && res.newlyCovered > 0 {
+				q.Update(int(w), res.ratio())
+			} else {
+				q.Remove(int(w))
+			}
+		}
+	}
+
+	for remaining > 0 && q.Len() > 0 {
+		id, _ := q.PopMin()
+		if id >= n {
+			// Singleton edge: ratio never changes; skip if already covered.
+			e := graph.EdgeID(id - n)
+			if !uncovered.Test(int(e)) {
+				continue
+			}
+			commitSingleton(g, r, s, e)
+			uncovered.Clear(int(e))
+			remaining--
+			refresh([]graph.EdgeID{e}, -1)
+			continue
+		}
+		// Hub candidate: re-evaluate against current state. With eager
+		// refresh the stored ratio is usually fresh; the check guards the
+		// rare case where a refresh batch raced... (single-threaded: it is
+		// simply a cheap idempotent recheck).
+		w := graph.NodeID(id)
+		res, ok := evalHub(g, r, s, uncovered, w, cfg, sc)
+		if !ok || res.newlyCovered == 0 {
+			continue // hub has nothing left to offer
+		}
+		ratio := res.ratio()
+		if q.Len() > 0 {
+			if _, next := q.Min(); ratio > next {
+				q.Push(id, ratio)
+				continue
+			}
+		}
+		changed := commitHub(g, s, uncovered, &remaining, w, res)
+		refresh(changed, w)
+	}
+	// Defensive: schedule anything left (cannot happen — singletons cover
+	// every edge — but Finalize keeps the invariant obvious).
+	s.Finalize(r)
+	return s
+}
+
+// hubEval is the oracle output for one hub: the chosen X/Y sides and how
+// much it covers at what cost.
+type hubEval struct {
+	xSide        []graph.NodeID // producers to push to the hub
+	ySide        []graph.NodeID // consumers to pull from the hub
+	cost         float64        // Σ unpaid rp(x) + Σ unpaid rc(y)
+	newlyCovered int            // |E(S) ∩ Z|
+}
+
+func (h hubEval) ratio() float64 {
+	if h.newlyCovered == 0 {
+		return math.Inf(1)
+	}
+	return h.cost / float64(h.newlyCovered)
+}
+
+// evalHub builds the weighted densest-subgraph instance for the maximal
+// hub-graph centered on w — X = producers of w, Y = consumers of w — and
+// runs the oracle. Elements (numerator edges) are restricted to the
+// uncovered set Z; node weights are zeroed for support edges already in
+// H or L, per Algorithm 1's weight update rule.
+func evalHub(g *graph.Graph, r *workload.Rates, s *core.Schedule,
+	uncovered *bitset.Set, w graph.NodeID, cfg Config, sc *scratch) (hubEval, bool) {
+
+	xs := g.InNeighbors(w)
+	xIDs := g.InEdgeIDs(w)
+	ys := g.OutNeighbors(w)
+	if len(xs) == 0 || len(ys) == 0 {
+		return hubEval{}, false
+	}
+	yLo, _ := g.OutEdgeRange(w)
+
+	// Instance layout: [0, len(xs)) X side, [len(xs), len(xs)+len(ys)) Y
+	// side, last vertex = hub.
+	nx, ny := len(xs), len(ys)
+	hub := int32(nx + ny)
+	inst := densest.Instance{
+		N:      nx + ny + 1,
+		Weight: make([]float64, nx+ny+1),
+	}
+	for i, x := range xs {
+		if s.IsPush(xIDs[i]) {
+			inst.Weight[i] = 0 // push already paid
+		} else {
+			inst.Weight[i] = r.Prod[x]
+		}
+		if uncovered.Test(int(xIDs[i])) {
+			inst.Edges = append(inst.Edges, [2]int32{int32(i), hub})
+		}
+	}
+	// Mark Y membership in the generation-stamped scratch array (a map
+	// here dominated the whole solve on dense graphs).
+	sc.gen++
+	for j, y := range ys {
+		e := yLo + graph.EdgeID(j)
+		if s.IsPull(e) {
+			inst.Weight[nx+j] = 0 // pull already paid
+		} else {
+			inst.Weight[nx+j] = r.Cons[y]
+		}
+		if uncovered.Test(int(e)) {
+			inst.Edges = append(inst.Edges, [2]int32{hub, int32(nx + j)})
+		}
+		sc.yMark[y] = sc.gen
+		sc.yPos[y] = int32(nx + j)
+	}
+	// Cross-edges x → y, bounded as in the paper.
+	crossBudget := cfg.MaxCrossEdges
+	for i, x := range xs {
+		if crossBudget <= 0 {
+			break
+		}
+		lo, hi := g.OutEdgeRange(x)
+		targets := g.OutNeighbors(x)
+		for k := lo; k < hi; k++ {
+			y := targets[k-lo]
+			if y == w || sc.yMark[y] != sc.gen || !uncovered.Test(int(k)) {
+				continue
+			}
+			inst.Edges = append(inst.Edges, [2]int32{int32(i), sc.yPos[y]})
+			crossBudget--
+			if crossBudget <= 0 {
+				break
+			}
+		}
+	}
+	if len(inst.Edges) == 0 {
+		return hubEval{}, false
+	}
+
+	var res densest.Result
+	if cfg.ExactOracle && inst.N <= 24 {
+		res = densest.Exact(inst)
+	} else {
+		res = densest.Peel(inst)
+	}
+	if res.EdgeCnt == 0 {
+		return hubEval{}, false
+	}
+
+	out := hubEval{cost: res.Weight}
+	hubIn := false
+	for _, v := range res.Members {
+		switch {
+		case v < int32(nx):
+			out.xSide = append(out.xSide, xs[v])
+		case v < hub:
+			out.ySide = append(out.ySide, ys[v-int32(nx)])
+		default:
+			hubIn = true
+		}
+	}
+	if !hubIn {
+		// A subgraph without the hub vertex cannot realize its cross-edge
+		// coverage (support pushes/pulls need the hub). The hub vertex has
+		// weight 0 so adding it never hurts; count only edges incident to
+		// selected members plus the hub.
+		return hubEval{}, false
+	}
+	out.newlyCovered = res.EdgeCnt
+	return out, len(out.xSide)+len(out.ySide) > 0
+}
+
+// commitHub applies the oracle's choice: pushes X→w, pulls w→Y, covers
+// cross-edges, and removes every newly covered element from Z. It returns
+// the edges whose schedule state changed, for queue refresh.
+func commitHub(g *graph.Graph, s *core.Schedule, uncovered *bitset.Set,
+	remaining *int, w graph.NodeID, res hubEval) []graph.EdgeID {
+
+	var changed []graph.EdgeID
+	cover := func(e graph.EdgeID) {
+		if uncovered.Test(int(e)) {
+			uncovered.Clear(int(e))
+			*remaining--
+		}
+	}
+	ySet := make(map[graph.NodeID]bool, len(res.ySide))
+	for _, y := range res.ySide {
+		ySet[y] = true
+	}
+	for _, x := range res.xSide {
+		e, ok := g.EdgeID(x, w)
+		if !ok {
+			continue
+		}
+		s.SetPush(e)
+		cover(e) // the support edge itself is served by the push
+		changed = append(changed, e)
+	}
+	for _, y := range res.ySide {
+		e, ok := g.EdgeID(w, y)
+		if !ok {
+			continue
+		}
+		s.SetPull(e)
+		cover(e)
+		changed = append(changed, e)
+	}
+	for _, x := range res.xSide {
+		lo, hi := g.OutEdgeRange(x)
+		targets := g.OutNeighbors(x)
+		for k := lo; k < hi; k++ {
+			y := targets[k-lo]
+			if y == w || !ySet[y] {
+				continue
+			}
+			if uncovered.Test(int(k)) {
+				s.SetCovered(k, w)
+				cover(k)
+				changed = append(changed, k)
+			}
+		}
+	}
+	return changed
+}
+
+// commitSingleton serves edge e directly at the hybrid cost.
+func commitSingleton(g *graph.Graph, r *workload.Rates, s *core.Schedule, e graph.EdgeID) {
+	u := g.EdgeSource(e)
+	v := g.EdgeTarget(e)
+	if r.Prod[u] <= r.Cons[v] {
+		s.SetPush(e)
+	} else {
+		s.SetPull(e)
+	}
+}
+
+// scratch holds per-solve reusable buffers: yMark/yPos form a
+// generation-stamped index from node id to the hub instance's Y-side
+// vertex, replacing a per-evalHub map that dominated profiles.
+type scratch struct {
+	yMark []int64
+	yPos  []int32
+	gen   int64
+}

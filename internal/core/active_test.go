@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/workload"
+)
+
+// chainGraph: 0→1, 0→2, 0→3, 1→2, 2→3. Producer 0 can reach 2 and 3
+// through a push chain 0→1 with propagation.
+func chainGraph() *graph.Graph {
+	return graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3},
+		{From: 1, To: 2}, {From: 2, To: 3},
+	})
+}
+
+func TestActivePropagationChain(t *testing.T) {
+	g := chainGraph()
+	a := NewActiveSchedule(g)
+	e01, _ := g.EdgeID(0, 1)
+	a.SetPush(e01)
+	// Propagate 0's events from 1's view to 2 (2 subscribes to both 0 and 1).
+	if err := a.AddPropagation(e01, 2); err != nil {
+		t.Fatal(err)
+	}
+	// And from 2's view onward to 3 (3 subscribes to 0 and 2).
+	e02, _ := g.EdgeID(0, 2)
+	if err := a.AddPropagation(e02, 3); err != nil {
+		t.Fatal(err)
+	}
+	reach := a.reachable(0)
+	for _, v := range []graph.NodeID{1, 2, 3} {
+		if !reach[v] {
+			t.Fatalf("view %d not reached by active chain", v)
+		}
+	}
+	// Remaining edges served directly so the whole schedule validates.
+	e12, _ := g.EdgeID(1, 2)
+	e23, _ := g.EdgeID(2, 3)
+	a.SetPush(e12)
+	a.SetPush(e23)
+	if err := a.ValidateActive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddPropagationRejectsNonSubscribers(t *testing.T) {
+	g := chainGraph()
+	a := NewActiveSchedule(g)
+	e12, _ := g.EdgeID(1, 2)
+	// 3 subscribes to 2 but not to 1 → propagating 1's events to 3 is junk.
+	if err := a.AddPropagation(e12, 3); err == nil {
+		t.Fatal("propagation to non-subscriber of producer should be rejected")
+	}
+	// 1 does not subscribe to 0's relay... 0→1 exists; target must also
+	// subscribe to the relay: propagate on edge 0→3 to 1 (1 subscribes to
+	// 0 but not to 3).
+	e03, _ := g.EdgeID(0, 3)
+	if err := a.AddPropagation(e03, 1); err == nil {
+		t.Fatal("propagation to non-subscriber of relay should be rejected")
+	}
+}
+
+func TestPassivizeCoversAndCostsNoMore(t *testing.T) {
+	g := chainGraph()
+	r := workload.LogDegree(g, 5)
+	a := NewActiveSchedule(g)
+	e01, _ := g.EdgeID(0, 1)
+	e02, _ := g.EdgeID(0, 2)
+	e12, _ := g.EdgeID(1, 2)
+	e23, _ := g.EdgeID(2, 3)
+	a.SetPush(e01)
+	a.AddPropagation(e01, 2)
+	a.AddPropagation(e02, 3)
+	a.SetPush(e12)
+	a.SetPush(e23)
+	if err := a.ValidateActive(); err != nil {
+		t.Fatal(err)
+	}
+	p := a.Passivize()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("passivized schedule invalid: %v", err)
+	}
+	if p.Cost(r) > a.Cost(r)+1e-9 {
+		t.Fatalf("Theorem 3 violated: passive cost %v > active cost %v", p.Cost(r), a.Cost(r))
+	}
+}
+
+// Property: for random graphs with random active schedules (pushes plus
+// random legal propagation entries), Passivize yields a schedule covering
+// at least the same edges, at no greater cost (Theorem 3).
+func TestQuickTheorem3(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		g := graphgen.ErdosRenyi(n, 5*n, seed)
+		r := workload.LogDegree(g, 5)
+		a := NewActiveSchedule(g)
+		// Random pushes on ~half the edges.
+		g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+			if rng.Float64() < 0.5 {
+				a.SetPush(e)
+			}
+			return true
+		})
+		// Random propagation attempts; only legal ones stick.
+		for i := 0; i < n; i++ {
+			e := graph.EdgeID(rng.Intn(g.NumEdges()))
+			v := graph.NodeID(rng.Intn(n))
+			_ = a.AddPropagation(e, v) // error means skipped
+		}
+		p := a.Passivize()
+		if p.Cost(r) > a.Cost(r)+1e-9 {
+			return false
+		}
+		// Coverage: every edge whose target was actively reachable must now
+		// be a direct push.
+		ok := true
+		g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+			if a.reachable(u)[v] && !p.IsPush(e) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package densest solves the weighted densest-subgraph problem used as
+// CHITCHAT's oracle (§3.1, Lemma 1): given an undirected instance graph
+// with non-negative node weights g, find S maximizing
+//
+//	d_w(S) = |E(S)| / g(S)
+//
+// Peel implements the modified Asahiro/Charikar greedy: repeatedly delete
+// the node with the smallest weighted degree deg(u)/g(u) and return the
+// best intermediate subgraph. Lemma 1 proves this is a factor-2
+// approximation. Exact provides a brute-force reference for tests.
+//
+// Zero-weight nodes (cost already paid by earlier greedy steps) have
+// infinite priority and are peeled last; a subgraph with positive edges
+// and zero total weight has infinite density — i.e., free coverage.
+package densest
+
+import (
+	"math"
+
+	"piggyback/internal/pq"
+)
+
+// Instance is an undirected multigraph with weighted nodes. Parallel
+// edges are allowed (they never arise in CHITCHAT's hub-graphs but cost
+// nothing to support). Edges must reference nodes 0..N-1.
+type Instance struct {
+	N      int
+	Edges  [][2]int32
+	Weight []float64 // len N, all >= 0
+}
+
+// Result is the selected node set and its density. Density may be +Inf
+// (positive edges, zero weight); Denser compares results exactly without
+// dividing.
+type Result struct {
+	Members []int32
+	EdgeCnt int
+	Weight  float64
+}
+
+// Density returns |E(S)|/g(S); +Inf if g(S)=0 and |E(S)|>0; 0 if both 0.
+func (r Result) Density() float64 {
+	if r.Weight == 0 {
+		if r.EdgeCnt > 0 {
+			return inf()
+		}
+		return 0
+	}
+	return float64(r.EdgeCnt) / r.Weight
+}
+
+// Denser reports whether r is strictly denser than o, comparing by
+// cross-multiplication so zero weights are exact.
+func (r Result) Denser(o Result) bool {
+	// r.E/r.W > o.E/o.W  ⟺  r.E*o.W > o.E*r.W   (weights >= 0)
+	lhs := float64(r.EdgeCnt) * o.Weight
+	rhs := float64(o.EdgeCnt) * r.Weight
+	if lhs != rhs {
+		return lhs > rhs
+	}
+	// Equal ratios: prefer more coverage (more edges).
+	return r.EdgeCnt > o.EdgeCnt
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Peel runs the weighted peeling algorithm and returns the densest
+// intermediate subgraph encountered. O((n + m) log n).
+func Peel(inst Instance) Result {
+	n := inst.N
+	if n == 0 {
+		return Result{}
+	}
+	deg := make([]int, n)
+	adj := make([][]int32, n) // adjacency by edge index
+	for ei, e := range inst.Edges {
+		a, b := e[0], e[1]
+		deg[a]++
+		deg[b]++
+		adj[a] = append(adj[a], int32(ei))
+		adj[b] = append(adj[b], int32(ei))
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	edgeAlive := make([]bool, len(inst.Edges))
+	for i := range edgeAlive {
+		edgeAlive[i] = true
+	}
+
+	prio := func(u int) float64 {
+		w := inst.Weight[u]
+		if w == 0 {
+			if deg[u] == 0 {
+				return inf() // dead weightless node: remove whenever
+			}
+			return inf()
+		}
+		return float64(deg[u]) / w
+	}
+
+	q := pq.New(n)
+	curWeight := 0.0
+	alivePositive := 0 // alive nodes with weight > 0
+	for u := 0; u < n; u++ {
+		q.Push(u, prio(u))
+		curWeight += inst.Weight[u]
+		if inst.Weight[u] > 0 {
+			alivePositive++
+		}
+	}
+	curEdges := len(inst.Edges)
+
+	best := Result{EdgeCnt: curEdges, Weight: curWeight}
+	bestStep := 0 // number of removals before the best snapshot
+	removalOrder := make([]int32, 0, n)
+
+	for step := 1; q.Len() > 0; step++ {
+		u, _ := q.PopMin()
+		alive[u] = false
+		removalOrder = append(removalOrder, int32(u))
+		curWeight -= inst.Weight[u]
+		if inst.Weight[u] > 0 {
+			alivePositive--
+		}
+		// Snap to exact zero once every positive-weight node is gone;
+		// accumulated float error must not mask an infinite-density
+		// (free-coverage) subgraph.
+		if alivePositive == 0 || curWeight < 0 {
+			curWeight = 0
+		}
+		for _, ei := range adj[u] {
+			if !edgeAlive[ei] {
+				continue
+			}
+			edgeAlive[ei] = false
+			curEdges--
+			other := inst.Edges[ei][0]
+			if other == int32(u) {
+				other = inst.Edges[ei][1]
+			}
+			if alive[other] {
+				deg[other]--
+				q.Update(int(other), prio(int(other)))
+			}
+		}
+		snap := Result{EdgeCnt: curEdges, Weight: curWeight}
+		if snap.Denser(best) {
+			best = snap
+			bestStep = step
+		}
+	}
+
+	// Reconstruct members: nodes not among the first bestStep removals.
+	removed := make([]bool, n)
+	for i := 0; i < bestStep; i++ {
+		removed[removalOrder[i]] = true
+	}
+	for u := 0; u < n; u++ {
+		if !removed[u] {
+			best.Members = append(best.Members, int32(u))
+		}
+	}
+	// Recompute weight exactly from the members: the incremental subtraction
+	// above can drift by a few ulps, and callers compare densities exactly.
+	best.Weight = 0
+	for _, u := range best.Members {
+		best.Weight += inst.Weight[u]
+	}
+	return best
+}
+
+// Exact solves the problem by subset enumeration; only usable for small
+// instances (N <= 24). Used by tests to verify the 2-approximation bound.
+func Exact(inst Instance) Result {
+	n := inst.N
+	if n == 0 || n > 24 {
+		if n > 24 {
+			panic("densest: Exact instance too large")
+		}
+		return Result{}
+	}
+	var best Result
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var r Result
+		for u := 0; u < n; u++ {
+			if mask&(1<<uint(u)) != 0 {
+				r.Weight += inst.Weight[u]
+			}
+		}
+		for _, e := range inst.Edges {
+			if mask&(1<<uint(e[0])) != 0 && mask&(1<<uint(e[1])) != 0 {
+				r.EdgeCnt++
+			}
+		}
+		if r.Denser(best) {
+			best = r
+			best.Members = best.Members[:0]
+			for u := 0; u < n; u++ {
+				if mask&(1<<uint(u)) != 0 {
+					best.Members = append(best.Members, int32(u))
+				}
+			}
+		}
+	}
+	return best
+}

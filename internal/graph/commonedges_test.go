@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommonInEdgesBasic(t *testing.T) {
+	// 0→2, 1→2, 3→2 ; 0→4, 3→4 → common producers of 2 and 4: {0, 3}.
+	g := FromEdges(5, []Edge{{0, 2}, {1, 2}, {3, 2}, {0, 4}, {3, 4}})
+	xs, ea, eb := g.CommonInEdges(2, 4, 0, nil, nil, nil)
+	if len(xs) != 2 || xs[0] != 0 || xs[1] != 3 {
+		t.Fatalf("xs = %v, want [0 3]", xs)
+	}
+	for i, x := range xs {
+		if g.EdgeSource(ea[i]) != x || g.EdgeTarget(ea[i]) != 2 {
+			t.Fatalf("ea[%d] = %d is not %d→2", i, ea[i], x)
+		}
+		if g.EdgeSource(eb[i]) != x || g.EdgeTarget(eb[i]) != 4 {
+			t.Fatalf("eb[%d] = %d is not %d→4", i, eb[i], x)
+		}
+	}
+}
+
+func TestCommonInEdgesLimit(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 2}, {1, 2}, {3, 2}, {0, 4}, {1, 4}, {3, 4}})
+	xs, ea, eb := g.CommonInEdges(2, 4, 2, nil, nil, nil)
+	if len(xs) != 2 || len(ea) != 2 || len(eb) != 2 {
+		t.Fatalf("limit 2 returned %d entries", len(xs))
+	}
+}
+
+func TestCommonInEdgesAppendsToBuffers(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}, {0, 2}})
+	xs := []NodeID{99}
+	ea := []EdgeID{77}
+	eb := []EdgeID{88}
+	xs, ea, eb = g.CommonInEdges(1, 2, 0, xs, ea, eb)
+	if xs[0] != 99 || ea[0] != 77 || eb[0] != 88 {
+		t.Fatal("existing buffer contents clobbered")
+	}
+	if len(xs) != 2 || xs[1] != 0 {
+		t.Fatalf("xs = %v", xs)
+	}
+}
+
+// Property: CommonInEdges agrees with CommonInNeighbors plus EdgeID
+// lookups on random graphs.
+func TestQuickCommonInEdgesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		b := NewBuilder(n)
+		for i := 0; i < 6*n; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		for trial := 0; trial < 10; trial++ {
+			a := NodeID(rng.Intn(n))
+			c := NodeID(rng.Intn(n))
+			want := g.CommonInNeighbors(a, c, 0)
+			xs, ea, eb := g.CommonInEdges(a, c, 0, nil, nil, nil)
+			if len(xs) != len(want) {
+				return false
+			}
+			for i := range want {
+				if xs[i] != want[i] {
+					return false
+				}
+				wa, _ := g.EdgeID(want[i], a)
+				wc, _ := g.EdgeID(want[i], c)
+				if ea[i] != wa || eb[i] != wc {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package graphgen generates synthetic directed social graphs.
+//
+// The paper evaluates on proprietary crawls of Flickr (2.4M nodes, 71M
+// edges, high reciprocity) and Twitter (83M nodes, 1.4B edges, low
+// reciprocity). Those datasets are not redistributable, so this package is
+// the substitution mandated by the reproduction: a preferential-attachment
+// process with triadic closure that reproduces the two properties the
+// paper's results depend on — power-law degree skew (hubs exist) and a
+// high clustering coefficient (hubs have co-subscribed neighborhoods worth
+// piggybacking through) — plus tunable reciprocity to differentiate the
+// Flickr-like and Twitter-like presets.
+//
+// All generators are deterministic given the seed.
+package graphgen
+
+import (
+	"math/rand"
+
+	"piggyback/internal/graph"
+)
+
+// Config parameterizes the social-graph generator.
+type Config struct {
+	Nodes       int     // number of users
+	AvgFollows  int     // average number of accounts a user follows
+	TriadProb   float64 // probability a new follow closes a triangle
+	Reciprocity float64 // probability a follow is reciprocated
+	Seed        int64
+}
+
+// TwitterLike returns a preset mimicking the Twitter crawl shape: denser,
+// low reciprocity (≈0.2), strong degree skew. n is the node count; the
+// paper's graph has average degree ≈ 17.
+func TwitterLike(n int, seed int64) Config {
+	return Config{Nodes: n, AvgFollows: 17, TriadProb: 0.55, Reciprocity: 0.22, Seed: seed}
+}
+
+// FlickrLike returns a preset mimicking the Flickr crawl shape: sparser
+// node-wise but higher average degree (≈ 29) and high reciprocity (≈0.6).
+func FlickrLike(n int, seed int64) Config {
+	return Config{Nodes: n, AvgFollows: 29, TriadProb: 0.45, Reciprocity: 0.62, Seed: seed}
+}
+
+// Social generates a directed social graph per cfg.
+//
+// Process: nodes arrive one at a time. Node v issues AvgFollows follow
+// requests (binomially jittered). The first target is picked by
+// preferential attachment on current follower counts (so early nodes
+// become celebrities, giving the power-law in follower count); each
+// subsequent target closes a triangle with probability TriadProb by
+// following a followee of the previous target (this is what produces the
+// high clustering coefficient). "v follows u" creates the edge u → v
+// (v subscribes to u); with probability Reciprocity the reverse edge
+// v → u is added too.
+func Social(cfg Config) *graph.Graph {
+	if cfg.Nodes < 2 {
+		return graph.FromEdges(maxInt(cfg.Nodes, 0), nil)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Nodes
+	b := graph.NewBuilder(n)
+
+	// followers[u] = users following u; also the preferential-attachment
+	// ballot box: each follow of u adds one ticket for u.
+	followees := make([][]graph.NodeID, n) // followees[v] = accounts v follows
+	tickets := make([]graph.NodeID, 0, n*cfg.AvgFollows)
+
+	follow := func(v, u graph.NodeID) {
+		if v == u {
+			return
+		}
+		b.AddEdge(u, v) // u → v : v subscribes to u
+		followees[v] = append(followees[v], u)
+		tickets = append(tickets, u)
+		if rng.Float64() < cfg.Reciprocity {
+			b.AddEdge(v, u)
+			followees[u] = append(followees[u], v)
+			tickets = append(tickets, v)
+		}
+	}
+
+	// Seed clique so preferential attachment has tickets to draw.
+	seedSize := minInt(4, n)
+	for i := 0; i < seedSize; i++ {
+		for j := 0; j < seedSize; j++ {
+			if i != j {
+				follow(graph.NodeID(i), graph.NodeID(j))
+			}
+		}
+	}
+
+	for v := seedSize; v < n; v++ {
+		k := jitter(rng, cfg.AvgFollows)
+		var prev graph.NodeID = -1
+		for f := 0; f < k; f++ {
+			var target graph.NodeID = -1
+			if prev >= 0 && cfg.TriadProb > 0 && rng.Float64() < cfg.TriadProb {
+				// Triadic closure: follow someone prev follows.
+				if cand := followees[prev]; len(cand) > 0 {
+					target = cand[rng.Intn(len(cand))]
+				}
+			}
+			if target < 0 {
+				target = tickets[rng.Intn(len(tickets))]
+			}
+			if target == graph.NodeID(v) {
+				continue
+			}
+			follow(graph.NodeID(v), target)
+			prev = target
+		}
+	}
+	return b.Build()
+}
+
+// jitter returns a value around avg: avg ± up to 50%, at least 1.
+func jitter(rng *rand.Rand, avg int) int {
+	if avg <= 1 {
+		return 1
+	}
+	span := avg / 2
+	k := avg - span + rng.Intn(2*span+1)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// ErdosRenyi generates a uniform random directed graph with n nodes and
+// approximately m edges (duplicates are dropped by the builder).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// ZipfConfiguration generates a directed graph whose out-degrees follow a
+// Zipf(s) distribution with the given maximum, wiring targets uniformly
+// (a configuration-model-style null graph with degree skew but no
+// clustering — useful as an ablation against Social).
+func ZipfConfiguration(n int, s float64, maxDeg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	if maxDeg < 1 {
+		maxDeg = 1
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(maxDeg-1))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		d := int(z.Uint64()) + 1
+		for i := 0; i < d; i++ {
+			v := graph.NodeID(rng.Intn(n))
+			b.AddEdge(graph.NodeID(u), v)
+		}
+	}
+	return b.Build()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

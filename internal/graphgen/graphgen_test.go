@@ -1,0 +1,124 @@
+package graphgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"piggyback/internal/graph"
+)
+
+func TestSocialDeterministic(t *testing.T) {
+	a := Social(TwitterLike(500, 42))
+	b := Social(TwitterLike(500, 42))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	ea, eb := a.EdgeList(), b.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c := Social(TwitterLike(500, 43))
+	if c.NumEdges() == a.NumEdges() {
+		// Different seeds could coincide in count, but the edge lists
+		// should differ somewhere.
+		ec := c.EdgeList()
+		same := true
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestSocialDensity(t *testing.T) {
+	cfg := TwitterLike(2000, 1)
+	g := Social(cfg)
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	// Reciprocity adds edges beyond AvgFollows; accept a broad band.
+	if avg < float64(cfg.AvgFollows)*0.7 || avg > float64(cfg.AvgFollows)*2.0 {
+		t.Fatalf("avg degree = %.1f, want near %d", avg, cfg.AvgFollows)
+	}
+}
+
+func TestSocialHasClusteringAndSkew(t *testing.T) {
+	g := Social(TwitterLike(3000, 7))
+	rng := rand.New(rand.NewSource(1))
+	cc := g.ClusteringCoefficient(300, rng)
+	if cc < 0.05 {
+		t.Fatalf("clustering coefficient = %.3f; social generator should cluster", cc)
+	}
+	// Degree skew: max follower count far above average.
+	s := g.ComputeStats(100, rng)
+	if float64(s.MaxOutDegree) < 5*s.AvgOutDegree {
+		t.Fatalf("max out-degree %d not skewed vs avg %.1f", s.MaxOutDegree, s.AvgOutDegree)
+	}
+	// ER null model should cluster much less at the same density.
+	er := ErdosRenyi(3000, g.NumEdges(), 7)
+	ccER := er.ClusteringCoefficient(300, rng)
+	if cc < 2*ccER {
+		t.Fatalf("social clustering %.3f not clearly above ER %.3f", cc, ccER)
+	}
+}
+
+func TestPresetsDiffer(t *testing.T) {
+	tw := Social(TwitterLike(2000, 3))
+	fl := Social(FlickrLike(2000, 3))
+	if rt, rf := tw.Reciprocity(), fl.Reciprocity(); rf <= rt {
+		t.Fatalf("flickr-like reciprocity %.2f should exceed twitter-like %.2f", rf, rt)
+	}
+}
+
+func TestSocialTinyGraphs(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		g := Social(Config{Nodes: n, AvgFollows: 3, Seed: 1})
+		if g.NumNodes() != n {
+			t.Fatalf("n=%d: NumNodes=%d", n, g.NumNodes())
+		}
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 500, 9)
+	if g.NumNodes() != 100 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 400 || g.NumEdges() > 500 {
+		t.Fatalf("NumEdges = %d, want ~500 (minus collisions)", g.NumEdges())
+	}
+}
+
+func TestZipfConfiguration(t *testing.T) {
+	g := ZipfConfiguration(500, 1.5, 100, 11)
+	if g.NumNodes() != 500 || g.NumEdges() == 0 {
+		t.Fatalf("unexpected graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	var maxd int
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.OutDegree(graph.NodeID(u)); d > maxd {
+			maxd = d
+		}
+	}
+	if maxd < 5 {
+		t.Fatalf("zipf generator produced no skew (max out-degree %d)", maxd)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		k := jitter(rng, 10)
+		if k < 5 || k > 15 {
+			t.Fatalf("jitter(10) = %d out of [5,15]", k)
+		}
+	}
+	if jitter(rng, 1) != 1 || jitter(rng, 0) != 1 {
+		t.Fatal("jitter should floor at 1")
+	}
+}

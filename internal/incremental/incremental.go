@@ -1,0 +1,219 @@
+// Package incremental maintains a request schedule under graph updates
+// (§3.3): added edges are served directly with the cheaper of push and
+// pull; when a support edge of a hub is removed, every edge covered
+// through that hub support is re-served directly. Over time this degrades
+// schedule quality, so callers periodically re-run the optimizer — the
+// Figure 5 experiment measures exactly how slowly the degradation bites.
+package incremental
+
+import (
+	"fmt"
+
+	"piggyback/internal/bitset"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/workload"
+)
+
+// Maintainer wraps an optimized schedule over a base graph and applies
+// edge additions/removals without re-optimizing.
+type Maintainer struct {
+	g     *graph.Graph
+	sched *core.Schedule
+	r     *workload.Rates
+
+	removed *bitset.Set // removed base edges
+	// deps[e] lists covered edges whose hub relies on support edge e
+	// (e is the push x → w or the pull w → y realizing the hub).
+	deps map[graph.EdgeID][]graph.EdgeID
+
+	extra      []extraEdge
+	extraIndex map[graph.Edge]int
+}
+
+type extraEdge struct {
+	edge    graph.Edge
+	push    bool // direct service direction chosen at insert time
+	removed bool
+}
+
+// New builds a maintainer over an already-optimized schedule. The
+// schedule is cloned; the original is not modified.
+func New(s *core.Schedule, r *workload.Rates) *Maintainer {
+	g := s.Graph()
+	m := &Maintainer{
+		g:          g,
+		sched:      s.Clone(),
+		r:          r,
+		removed:    bitset.New(g.NumEdges()),
+		deps:       make(map[graph.EdgeID][]graph.EdgeID),
+		extraIndex: make(map[graph.Edge]int),
+	}
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if !m.sched.IsCovered(e) {
+			return true
+		}
+		w := m.sched.Hub(e)
+		if up, ok := g.EdgeID(u, w); ok {
+			m.deps[up] = append(m.deps[up], e)
+		}
+		if down, ok := g.EdgeID(w, v); ok {
+			m.deps[down] = append(m.deps[down], e)
+		}
+		return true
+	})
+	return m
+}
+
+// NumEdges returns the number of live edges (base minus removed plus
+// live additions).
+func (m *Maintainer) NumEdges() int {
+	n := m.g.NumEdges() - m.removed.Count()
+	for _, x := range m.extra {
+		if !x.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// AddEdge inserts the edge u → v, serving it directly with the cheaper of
+// push and pull (§3.3). Re-adding a removed base edge revives it as a
+// direct edge. Adding an existing live edge is an error.
+func (m *Maintainer) AddEdge(u, v graph.NodeID) error {
+	if u == v {
+		return fmt.Errorf("incremental: self-loop %d→%d", u, v)
+	}
+	if int(u) >= m.g.NumNodes() || int(v) >= m.g.NumNodes() || u < 0 || v < 0 {
+		return fmt.Errorf("incremental: edge %d→%d out of range", u, v)
+	}
+	if e, ok := m.g.EdgeID(u, v); ok && !m.removed.Test(int(e)) {
+		return fmt.Errorf("incremental: edge %d→%d already present", u, v)
+	}
+	key := graph.Edge{From: u, To: v}
+	if i, ok := m.extraIndex[key]; ok {
+		if !m.extra[i].removed {
+			return fmt.Errorf("incremental: edge %d→%d already added", u, v)
+		}
+		m.extra[i].removed = false
+		m.extra[i].push = m.r.Prod[u] <= m.r.Cons[v]
+		return nil
+	}
+	m.extra = append(m.extra, extraEdge{
+		edge: key,
+		push: m.r.Prod[u] <= m.r.Cons[v],
+	})
+	m.extraIndex[key] = len(m.extra) - 1
+	return nil
+}
+
+// RemoveEdge deletes the edge u → v. If the edge supported hubs (as a
+// push into the hub or the hub's pull), every edge covered through it is
+// re-served directly.
+func (m *Maintainer) RemoveEdge(u, v graph.NodeID) error {
+	key := graph.Edge{From: u, To: v}
+	if i, ok := m.extraIndex[key]; ok && !m.extra[i].removed {
+		m.extra[i].removed = true
+		return nil
+	}
+	e, ok := m.g.EdgeID(u, v)
+	if !ok || m.removed.Test(int(e)) {
+		return fmt.Errorf("incremental: edge %d→%d not present", u, v)
+	}
+	m.removed.Set(int(e))
+	for _, d := range m.deps[e] {
+		if m.removed.Test(int(d)) || !m.sched.IsCovered(d) {
+			continue
+		}
+		// Only rescue edges whose hub actually used e as support; deps may
+		// be stale if d was already re-served and re-covered (it cannot be
+		// re-covered by this maintainer, but stay defensive).
+		m.sched.ClearCovered(d)
+		du := m.g.EdgeSource(d)
+		dv := m.g.EdgeTarget(d)
+		if m.r.Prod[du] <= m.r.Cons[dv] {
+			m.sched.SetPush(d)
+		} else {
+			m.sched.SetPull(d)
+		}
+	}
+	delete(m.deps, e)
+	return nil
+}
+
+// Cost returns the throughput cost of the maintained schedule over the
+// live edge set.
+func (m *Maintainer) Cost() float64 {
+	total := 0.0
+	m.g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if m.removed.Test(int(e)) {
+			return true
+		}
+		if m.sched.IsPush(e) {
+			total += m.r.Prod[u]
+		}
+		if m.sched.IsPull(e) {
+			total += m.r.Cons[v]
+		}
+		return true
+	})
+	for _, x := range m.extra {
+		if x.removed {
+			continue
+		}
+		if x.push {
+			total += m.r.Prod[x.edge.From]
+		} else {
+			total += m.r.Cons[x.edge.To]
+		}
+	}
+	return total
+}
+
+// LiveEdges returns the current edge list (base minus removals plus live
+// additions), for rebuilding the graph before re-optimization.
+func (m *Maintainer) LiveEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, m.NumEdges())
+	m.g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if !m.removed.Test(int(e)) {
+			out = append(out, graph.Edge{From: u, To: v})
+		}
+		return true
+	})
+	for _, x := range m.extra {
+		if !x.removed {
+			out = append(out, x.edge)
+		}
+	}
+	return out
+}
+
+// Validate checks bounded staleness over the live edge set: every live
+// edge is pushed, pulled, or covered by a hub whose support edges are
+// live and scheduled correctly.
+func (m *Maintainer) Validate() error {
+	var err error
+	m.g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if m.removed.Test(int(e)) {
+			return true
+		}
+		if m.sched.IsPush(e) || m.sched.IsPull(e) {
+			return true
+		}
+		if !m.sched.IsCovered(e) {
+			err = fmt.Errorf("incremental: live edge %d→%d unserved", u, v)
+			return false
+		}
+		w := m.sched.Hub(e)
+		up, ok1 := m.g.EdgeID(u, w)
+		down, ok2 := m.g.EdgeID(w, v)
+		if !ok1 || !ok2 ||
+			m.removed.Test(int(up)) || m.removed.Test(int(down)) ||
+			!m.sched.IsPush(up) || !m.sched.IsPull(down) {
+			err = fmt.Errorf("incremental: live edge %d→%d has broken hub %d", u, v, w)
+			return false
+		}
+		return true
+	})
+	return err
+}

@@ -1,0 +1,220 @@
+package incremental
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/workload"
+)
+
+func optimized(n int, seed int64) (*graph.Graph, *workload.Rates, *Maintainer) {
+	g := graphgen.Social(graphgen.TwitterLike(n, seed))
+	r := workload.LogDegree(g, 5)
+	res := nosy.Solve(g, r, nosy.Config{})
+	return g, r, New(res.Schedule, r)
+}
+
+func TestCostMatchesScheduleInitially(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(300, 1))
+	r := workload.LogDegree(g, 5)
+	res := nosy.Solve(g, r, nosy.Config{})
+	m := New(res.Schedule, r)
+	if math.Abs(m.Cost()-res.Schedule.Cost(r)) > 1e-9 {
+		t.Fatalf("maintainer cost %v != schedule cost %v", m.Cost(), res.Schedule.Cost(r))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumEdges() != g.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", m.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestAddEdgeHybridCost(t *testing.T) {
+	g, r, m := optimized(200, 2)
+	before := m.Cost()
+	// Find a missing edge.
+	var u, v graph.NodeID
+	found := false
+	for a := 0; a < g.NumNodes() && !found; a++ {
+		for b := 0; b < g.NumNodes() && !found; b++ {
+			if a != b && !g.HasEdge(graph.NodeID(a), graph.NodeID(b)) {
+				u, v = graph.NodeID(a), graph.NodeID(b)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Skip("graph is complete")
+	}
+	if err := m.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	want := before + math.Min(r.Prod[u], r.Cons[v])
+	if math.Abs(m.Cost()-want) > 1e-9 {
+		t.Fatalf("cost after add = %v, want %v", m.Cost(), want)
+	}
+	if err := m.AddEdge(u, v); err == nil {
+		t.Fatal("duplicate AddEdge should fail")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeRejectsBad(t *testing.T) {
+	_, _, m := optimized(50, 3)
+	if err := m.AddEdge(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := m.AddEdge(0, 10000); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+}
+
+func TestRemoveSupportEdgeRescuesCovered(t *testing.T) {
+	// Figure-2 shape: 0→1 push, 1→2 pull, 0→2 covered through 1.
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2},
+	})
+	r := workload.NewUniform(3, 1)
+	res := nosy.Solve(g, r, nosy.Config{})
+	m := New(res.Schedule, r)
+
+	// Removing the pull edge 1→2 must rescue the covered edge 0→2.
+	if err := m.RemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("after removing hub pull: %v", err)
+	}
+	if m.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", m.NumEdges())
+	}
+	// 0→2 is now served directly: cost = push(0→1) + direct(0→2) = 2.
+	if got := m.Cost(); got != 2 {
+		t.Fatalf("cost = %v, want 2", got)
+	}
+}
+
+func TestRemovePushSupportRescues(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2},
+	})
+	r := workload.NewUniform(3, 1)
+	res := nosy.Solve(g, r, nosy.Config{})
+	m := New(res.Schedule, r)
+	if err := m.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("after removing hub push: %v", err)
+	}
+}
+
+func TestRemoveThenReAdd(t *testing.T) {
+	_, _, m := optimized(200, 5)
+	g := graphgen.Social(graphgen.TwitterLike(200, 5))
+	e := g.EdgeList()[0]
+	if err := m.RemoveEdge(e.From, e.To); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveEdge(e.From, e.To); err == nil {
+		t.Fatal("double remove should fail")
+	}
+	if err := m.AddEdge(e.From, e.To); err != nil {
+		t.Fatalf("re-add after remove: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveEdgesRoundTrip(t *testing.T) {
+	g, _, m := optimized(150, 7)
+	e := g.EdgeList()[3]
+	m.RemoveEdge(e.From, e.To)
+	m.AddEdge(e.To, e.From) // may exist already; ignore error
+	live := m.LiveEdges()
+	if len(live) != m.NumEdges() {
+		t.Fatalf("LiveEdges %d != NumEdges %d", len(live), m.NumEdges())
+	}
+	rebuilt := graph.FromEdges(g.NumNodes(), live)
+	if rebuilt.NumEdges() > m.NumEdges() {
+		t.Fatal("rebuild created edges")
+	}
+}
+
+// The core §3.3 claim behind Figure 5: incremental maintenance after
+// adding a batch of edges is worse than re-optimizing, but not by much,
+// and both stay no worse than hybrid.
+func TestIncrementalVsStatic(t *testing.T) {
+	full := graphgen.Social(graphgen.TwitterLike(400, 11))
+	r := workload.LogDegree(full, 5)
+	edges := full.EdgeList()
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	half := edges[:len(edges)/2]
+	rest := edges[len(edges)/2:]
+
+	base := graph.FromEdges(full.NumNodes(), half)
+	baseSched := nosy.Solve(base, r, nosy.Config{}).Schedule
+	m := New(baseSched, r)
+	for _, e := range rest {
+		if err := m.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	incCost := m.Cost()
+	staticCost := nosy.Solve(full, r, nosy.Config{}).Schedule.Cost(r)
+	hybrid := baseline.HybridCost(full, r)
+	if staticCost > incCost+1e-9 {
+		t.Fatalf("static re-optimization (%v) worse than incremental (%v)", staticCost, incCost)
+	}
+	if incCost > hybrid+1e-9 {
+		t.Fatalf("incremental (%v) worse than hybrid (%v)", incCost, hybrid)
+	}
+}
+
+// Property: random removals and additions never break validity, and cost
+// stays non-negative.
+func TestQuickRandomChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		g := graphgen.Social(graphgen.Config{
+			Nodes: n, AvgFollows: 4, TriadProb: 0.5, Reciprocity: 0.3, Seed: seed,
+		})
+		r := workload.LogDegree(g, 5)
+		m := New(nosy.Solve(g, r, nosy.Config{}).Schedule, r)
+		edges := g.EdgeList()
+		for op := 0; op < 40; op++ {
+			if rng.Intn(2) == 0 && len(edges) > 0 {
+				e := edges[rng.Intn(len(edges))]
+				_ = m.RemoveEdge(e.From, e.To) // may already be removed
+			} else {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				if u != v {
+					_ = m.AddEdge(u, v) // may already exist
+				}
+			}
+			if m.Validate() != nil || m.Cost() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

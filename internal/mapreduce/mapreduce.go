@@ -1,0 +1,153 @@
+// Package mapreduce is a small in-memory MapReduce engine.
+//
+// The paper implements PARALLELNOSY as a sequence of Hadoop jobs on a
+// 1500-core cluster (§3.2, "Implementing PARALLELNOSY with MapReduce").
+// That substrate is reproduced here: a generic map / shuffle / reduce
+// pipeline over goroutine worker pools, so package nosymr can express the
+// same three jobs per iteration and be checked against the shared-memory
+// implementation.
+//
+// Semantics follow the classic model (Dean & Ghemawat): the mapper is
+// applied to every input record and emits key/value pairs; pairs are
+// shuffled so that all values of one key meet in a single reducer call;
+// reducers emit output records. Within a job, mapper and reducer
+// invocations run concurrently, so they must not share mutable state
+// beyond what they receive.
+package mapreduce
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Options configures a job.
+type Options struct {
+	// Workers is the degree of parallelism for both the map and reduce
+	// waves; 0 means GOMAXPROCS.
+	Workers int
+	// Partitions is the number of shuffle partitions; 0 means Workers.
+	Partitions int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) partitions() int {
+	if o.Partitions > 0 {
+		return o.Partitions
+	}
+	return o.workers()
+}
+
+// Mapper consumes one input record and emits key/value pairs.
+type Mapper[I any, K comparable, V any] func(in I, emit func(K, V))
+
+// Reducer consumes one key with all its values and emits output records.
+// The values slice order is unspecified.
+type Reducer[K comparable, V, O any] func(key K, values []V, emit func(O))
+
+// Partitioner routes a key to a shuffle partition. It must be
+// deterministic.
+type Partitioner[K comparable] func(K) uint64
+
+// Run executes one MapReduce job and returns the concatenated reducer
+// outputs. Output order across keys is unspecified; callers needing
+// determinism must sort or aggregate into keyed structures.
+func Run[I any, K comparable, V, O any](
+	inputs []I,
+	mapper Mapper[I, K, V],
+	part Partitioner[K],
+	reducer Reducer[K, V, O],
+	opts Options,
+) []O {
+	workers := opts.workers()
+	nparts := opts.partitions()
+
+	// Map wave: each worker keeps one bucket per partition to avoid
+	// synchronizing on emit.
+	type kv struct {
+		k K
+		v V
+	}
+	buckets := make([][][]kv, workers) // [worker][partition][]kv
+	var wg sync.WaitGroup
+	chunk := (len(inputs) + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			local := make([][]kv, nparts)
+			emit := func(k K, v V) {
+				p := int(part(k) % uint64(nparts))
+				local[p] = append(local[p], kv{k, v})
+			}
+			for i := lo; i < hi; i++ {
+				mapper(inputs[i], emit)
+			}
+			buckets[wk] = local
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+
+	// Shuffle + reduce wave: one goroutine per partition groups its
+	// buckets by key and runs the reducer.
+	outParts := make([][]O, nparts)
+	sem := make(chan struct{}, workers)
+	var wg2 sync.WaitGroup
+	for p := 0; p < nparts; p++ {
+		wg2.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer func() { <-sem; wg2.Done() }()
+			groups := make(map[K][]V)
+			for wk := range buckets {
+				if buckets[wk] == nil {
+					continue
+				}
+				for _, pair := range buckets[wk][p] {
+					groups[pair.k] = append(groups[pair.k], pair.v)
+				}
+			}
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for k, vs := range groups {
+				reducer(k, vs, emit)
+			}
+			outParts[p] = out
+		}(p)
+	}
+	wg2.Wait()
+
+	var out []O
+	for _, part := range outParts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Int32Key is a ready-made partitioner for int32 keys (edge and node ids).
+func Int32Key(k int32) uint64 { return splitmix64(uint64(uint32(k))) }
+
+// Int64Key is a ready-made partitioner for int64 keys.
+func Int64Key(k int64) uint64 { return splitmix64(uint64(k)) }
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed integer hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

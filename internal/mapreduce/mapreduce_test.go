@@ -1,0 +1,197 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Word count: the canonical smoke test.
+func TestWordCount(t *testing.T) {
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the fox",
+	}
+	type count struct {
+		word string
+		n    int
+	}
+	out := Run(
+		docs,
+		func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		func(k string) uint64 {
+			h := uint64(14695981039346656037)
+			for i := 0; i < len(k); i++ {
+				h = (h ^ uint64(k[i])) * 1099511628211
+			}
+			return h
+		},
+		func(k string, vs []int, emit func(count)) {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			emit(count{k, total})
+		},
+		Options{Workers: 4},
+	)
+	got := make(map[string]int)
+	for _, c := range out {
+		got[c.word] = c.n
+	}
+	want := map[string]int{"the": 3, "quick": 1, "brown": 1, "fox": 2, "lazy": 1, "dog": 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Fatalf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	out := Run(
+		nil,
+		func(int, func(int32, int)) {},
+		Int32Key,
+		func(int32, []int, func(int)) {},
+		Options{},
+	)
+	if len(out) != 0 {
+		t.Fatalf("empty job emitted %d outputs", len(out))
+	}
+}
+
+func TestAllValuesOfKeyMeetOnce(t *testing.T) {
+	// Emit each key from several mappers; each reducer call must see all
+	// of that key's values, and each key must be reduced exactly once.
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	type red struct {
+		key int32
+		sum int
+		n   int
+	}
+	out := Run(
+		inputs,
+		func(i int, emit func(int32, int)) {
+			emit(int32(i%7), i)
+		},
+		Int32Key,
+		func(k int32, vs []int, emit func(red)) {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			emit(red{k, s, len(vs)})
+		},
+		Options{Workers: 8, Partitions: 16},
+	)
+	if len(out) != 7 {
+		t.Fatalf("expected 7 reduced keys, got %d", len(out))
+	}
+	for _, r := range out {
+		wantSum, wantN := 0, 0
+		for i := 0; i < 100; i++ {
+			if int32(i%7) == r.key {
+				wantSum += i
+				wantN++
+			}
+		}
+		if r.sum != wantSum || r.n != wantN {
+			t.Fatalf("key %d: sum/n = %d/%d, want %d/%d", r.key, r.sum, r.n, wantSum, wantN)
+		}
+	}
+}
+
+func TestWorkerAndPartitionInvariance(t *testing.T) {
+	inputs := make([]int, 500)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	run := func(workers, parts int) []int {
+		out := Run(
+			inputs,
+			func(i int, emit func(int32, int)) { emit(int32(i%13), i*i) },
+			Int32Key,
+			func(k int32, vs []int, emit func(int)) {
+				s := 0
+				for _, v := range vs {
+					s += v
+				}
+				emit(s)
+			},
+			Options{Workers: workers, Partitions: parts},
+		)
+		sort.Ints(out)
+		return out
+	}
+	ref := run(1, 1)
+	for _, cfg := range [][2]int{{2, 2}, {4, 8}, {8, 3}} {
+		got := run(cfg[0], cfg[1])
+		if len(got) != len(ref) {
+			t.Fatalf("cfg %v: %d outputs vs %d", cfg, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("cfg %v: output %d = %d, want %d", cfg, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// Property: a sum aggregated through MapReduce equals the direct sum.
+func TestQuickSumPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		inputs := make([]int64, n)
+		var want int64
+		for i := range inputs {
+			inputs[i] = int64(rng.Intn(1000))
+			want += inputs[i]
+		}
+		out := Run(
+			inputs,
+			func(v int64, emit func(int64, int64)) { emit(v%17, v) },
+			Int64Key,
+			func(_ int64, vs []int64, emit func(int64)) {
+				var s int64
+				for _, v := range vs {
+					s += v
+				}
+				emit(s)
+			},
+			Options{Workers: 1 + rng.Intn(8)},
+		)
+		var got int64
+		for _, v := range out {
+			got += v
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitmixDistribution(t *testing.T) {
+	// Smoke check: consecutive keys spread over partitions.
+	seen := make(map[uint64]bool)
+	for i := int32(0); i < 64; i++ {
+		seen[Int32Key(i)%8] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("64 consecutive keys hit only %d of 8 partitions", len(seen))
+	}
+}

@@ -1,0 +1,176 @@
+package netstore
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/partition"
+	"piggyback/internal/store"
+)
+
+// RequestTimeout bounds one server round-trip. The paper's prototype
+// omits failure handling "for simplicity"; a real client must at least
+// fail fast instead of hanging when a data-store server dies mid-request.
+const RequestTimeout = 5 * time.Second
+
+// Client is a schedule-driven application-logic client over TCP
+// (Algorithm 3). It keeps one connection per data-store server and
+// fans requests out in parallel, one batched message per server, waiting
+// for all replies. A Client is not safe for concurrent use; open one per
+// goroutine (connections are cheap, and this mirrors the paper's
+// independent client processes).
+type Client struct {
+	sched  *core.Schedule
+	assign partition.Assignment
+	conns  []*conn
+
+	pushBatch [][]batch
+	pullBatch [][]batch
+}
+
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+type batch struct {
+	server int
+	views  []graph.NodeID
+}
+
+// Dial connects to the given data-store servers and precomputes per-user
+// batches from the schedule; addrs[i] hosts the views that the hash
+// assignment maps to server i.
+func Dial(s *core.Schedule, addrs []string) (*Client, error) {
+	return DialWithSeed(s, addrs, 0)
+}
+
+// DialWithSeed is Dial with an explicit partition seed (must match the
+// seed used to shard data across the servers).
+func DialWithSeed(s *core.Schedule, addrs []string, seed int64) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("netstore: no servers")
+	}
+	g := s.Graph()
+	cl := &Client{
+		sched:  s,
+		assign: partition.Hash(g.NumNodes(), len(addrs), seed),
+	}
+	for _, addr := range addrs {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("netstore: dialing %s: %w", addr, err)
+		}
+		cl.conns = append(cl.conns, &conn{
+			c:  c,
+			br: bufio.NewReader(c),
+			bw: bufio.NewWriter(c),
+		})
+	}
+	cl.pushBatch = make([][]batch, g.NumNodes())
+	cl.pullBatch = make([][]batch, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		cl.pushBatch[u] = cl.group(append(s.PushSet(uid), uid))
+		cl.pullBatch[u] = cl.group(append(s.PullSet(uid), uid))
+	}
+	return cl, nil
+}
+
+func (cl *Client) group(views []graph.NodeID) []batch {
+	byServer := make(map[int][]graph.NodeID)
+	for _, v := range views {
+		s := int(cl.assign.Of(v))
+		byServer[s] = append(byServer[s], v)
+	}
+	out := make([]batch, 0, len(byServer))
+	for s, vs := range byServer {
+		out = append(out, batch{server: s, views: vs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].server < out[j].server })
+	return out
+}
+
+// Close tears down all connections.
+func (cl *Client) Close() {
+	for _, c := range cl.conns {
+		if c != nil {
+			c.c.Close()
+		}
+	}
+}
+
+// roundTrip sends one frame on one connection and reads the reply. The
+// deadline turns a dead server into a prompt error instead of a hang.
+func (c *conn) roundTrip(body []byte) ([]byte, error) {
+	if err := c.c.SetDeadline(time.Now().Add(RequestTimeout)); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.bw, body); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	return readFrame(c.br, nil)
+}
+
+// Update shares an event by u: one update message per server holding a
+// view in u's push set (plus u's own view), all acked.
+func (cl *Client) Update(u graph.NodeID, ev store.Event) error {
+	batches := cl.pushBatch[u]
+	var wg sync.WaitGroup
+	errs := make([]error, len(batches))
+	for i, b := range batches {
+		wg.Add(1)
+		go func(i int, b batch) {
+			defer wg.Done()
+			_, errs[i] = cl.conns[b.server].roundTrip(encodeUpdate(ev, b.views))
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query assembles u's event stream: one query per server holding a view
+// in u's pull set (plus u's own), replies merged to the ten newest.
+func (cl *Client) Query(u graph.NodeID) ([]store.Event, error) {
+	batches := cl.pullBatch[u]
+	var wg sync.WaitGroup
+	errs := make([]error, len(batches))
+	replies := make([][]store.Event, len(batches))
+	for i, b := range batches {
+		wg.Add(1)
+		go func(i int, b batch) {
+			defer wg.Done()
+			body, err := cl.conns[b.server].roundTrip(encodeQuery(store.StreamSize, b.views))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			replies[i], errs[i] = decodeEvents(body)
+		}(i, b)
+	}
+	wg.Wait()
+	var out []store.Event
+	for i := range batches {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = store.MergeNewest(out, replies[i], store.StreamSize)
+	}
+	return out, nil
+}

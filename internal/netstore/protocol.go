@@ -1,0 +1,174 @@
+// Package netstore is the networked variant of the §4.3 prototype: the
+// data-store servers of package store exposed over TCP with a compact
+// binary protocol, and a schedule-driven client that batches one request
+// per server, exactly like Algorithm 3 against memcached. Where package
+// store measures the scheduling effect in isolation (in-process message
+// passing), netstore adds real sockets, so measured throughput includes
+// genuine network stack costs.
+package netstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"piggyback/internal/graph"
+	"piggyback/internal/store"
+)
+
+// Protocol: every message is a length-prefixed frame.
+//
+//	frame  := len(uint32 LE) body
+//	request body :=
+//	    opUpdate(1) event{user int32, id int64, ts int64} n(uint32) n×view(int32)
+//	  | opQuery(1)  k(uint32) n(uint32) n×view(int32)
+//	response body :=
+//	    update → empty
+//	    query  → count(uint32) count×event{user int32, id int64, ts int64}
+const (
+	opUpdate byte = 1
+	opQuery  byte = 2
+)
+
+// maxFrame bounds a frame to keep a malicious or corrupt peer from
+// forcing huge allocations.
+const maxFrame = 16 << 20
+
+const eventWire = 4 + 8 + 8 // user + id + ts
+
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	if len(body) > maxFrame {
+		return fmt.Errorf("netstore: frame of %d bytes exceeds limit", len(body))
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netstore: frame of %d bytes exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func putEvent(b []byte, ev store.Event) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(ev.User))
+	binary.LittleEndian.PutUint64(b[4:], uint64(ev.ID))
+	binary.LittleEndian.PutUint64(b[12:], uint64(ev.TS))
+}
+
+func getEvent(b []byte) store.Event {
+	return store.Event{
+		User: graph.NodeID(binary.LittleEndian.Uint32(b[0:])),
+		ID:   int64(binary.LittleEndian.Uint64(b[4:])),
+		TS:   int64(binary.LittleEndian.Uint64(b[12:])),
+	}
+}
+
+// encodeUpdate builds an update request frame body.
+func encodeUpdate(ev store.Event, views []graph.NodeID) []byte {
+	body := make([]byte, 1+eventWire+4+4*len(views))
+	body[0] = opUpdate
+	putEvent(body[1:], ev)
+	binary.LittleEndian.PutUint32(body[1+eventWire:], uint32(len(views)))
+	off := 1 + eventWire + 4
+	for i, v := range views {
+		binary.LittleEndian.PutUint32(body[off+4*i:], uint32(v))
+	}
+	return body
+}
+
+// encodeQuery builds a query request frame body.
+func encodeQuery(k int, views []graph.NodeID) []byte {
+	body := make([]byte, 1+4+4+4*len(views))
+	body[0] = opQuery
+	binary.LittleEndian.PutUint32(body[1:], uint32(k))
+	binary.LittleEndian.PutUint32(body[5:], uint32(len(views)))
+	for i, v := range views {
+		binary.LittleEndian.PutUint32(body[9+4*i:], uint32(v))
+	}
+	return body
+}
+
+// decodeRequest parses a request body.
+func decodeRequest(body []byte) (op byte, ev store.Event, k int, views []graph.NodeID, err error) {
+	if len(body) < 1 {
+		return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: empty request")
+	}
+	op = body[0]
+	switch op {
+	case opUpdate:
+		if len(body) < 1+eventWire+4 {
+			return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: short update frame")
+		}
+		ev = getEvent(body[1:])
+		n := int(binary.LittleEndian.Uint32(body[1+eventWire:]))
+		off := 1 + eventWire + 4
+		if len(body) != off+4*n {
+			return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: update frame length mismatch")
+		}
+		views = make([]graph.NodeID, n)
+		for i := range views {
+			views[i] = graph.NodeID(binary.LittleEndian.Uint32(body[off+4*i:]))
+		}
+	case opQuery:
+		if len(body) < 9 {
+			return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: short query frame")
+		}
+		k = int(binary.LittleEndian.Uint32(body[1:]))
+		n := int(binary.LittleEndian.Uint32(body[5:]))
+		if len(body) != 9+4*n {
+			return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: query frame length mismatch")
+		}
+		views = make([]graph.NodeID, n)
+		for i := range views {
+			views[i] = graph.NodeID(binary.LittleEndian.Uint32(body[9+4*i:]))
+		}
+	default:
+		return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: unknown op %d", op)
+	}
+	return op, ev, k, views, nil
+}
+
+// encodeEvents builds a query response body.
+func encodeEvents(events []store.Event) []byte {
+	body := make([]byte, 4+eventWire*len(events))
+	binary.LittleEndian.PutUint32(body, uint32(len(events)))
+	for i, ev := range events {
+		putEvent(body[4+eventWire*i:], ev)
+	}
+	return body
+}
+
+// decodeEvents parses a query response body.
+func decodeEvents(body []byte) ([]store.Event, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("netstore: short query response")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if len(body) != 4+eventWire*n {
+		return nil, fmt.Errorf("netstore: query response length mismatch")
+	}
+	out := make([]store.Event, n)
+	for i := range out {
+		out[i] = getEvent(body[4+eventWire*i:])
+	}
+	return out, nil
+}

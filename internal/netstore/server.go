@@ -1,0 +1,169 @@
+package netstore
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"piggyback/internal/graph"
+	"piggyback/internal/store"
+)
+
+// Server is one TCP data-store server holding user views. Unlike the
+// in-process store (one goroutine per server, no locks), a TCP server
+// handles many connections concurrently, so views live in a sharded,
+// mutex-protected container — the same shape as a memcached slab tier.
+type Server struct {
+	ln     net.Listener
+	shards [viewShards]viewShard
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+const viewShards = 64
+
+type viewShard struct {
+	mu    sync.Mutex
+	views map[graph.NodeID][]store.Event
+}
+
+// NewServer starts a server listening on addr (use "127.0.0.1:0" for an
+// ephemeral test port).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, conns: make(map[net.Conn]struct{})}
+	for i := range s.shards {
+		s.shards[i].views = make(map[graph.NodeID][]store.Event)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes live connections, and waits for handler
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var buf []byte
+	for {
+		body, err := readFrame(br, buf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return // protocol error or closed connection
+			}
+			return
+		}
+		buf = body[:0]
+		op, ev, k, views, err := decodeRequest(body)
+		if err != nil {
+			return // drop the connection on malformed input
+		}
+		switch op {
+		case opUpdate:
+			for _, v := range views {
+				s.insert(v, ev)
+			}
+			if writeFrame(bw, nil) != nil {
+				return
+			}
+		case opQuery:
+			if writeFrame(bw, encodeEvents(s.query(views, k))) != nil {
+				return
+			}
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) shard(v graph.NodeID) *viewShard {
+	return &s.shards[uint32(v)%viewShards]
+}
+
+func (s *Server) insert(v graph.NodeID, ev store.Event) {
+	sh := s.shard(v)
+	sh.mu.Lock()
+	list := sh.views[v]
+	i := sort.Search(len(list), func(i int) bool { return list[i].TS <= ev.TS })
+	list = append(list, store.Event{})
+	copy(list[i+1:], list[i:])
+	list[i] = ev
+	if len(list) > store.ViewCap {
+		list = list[:store.ViewCap]
+	}
+	sh.views[v] = list
+	sh.mu.Unlock()
+}
+
+func (s *Server) query(views []graph.NodeID, k int) []store.Event {
+	if k <= 0 || k > store.ViewCap {
+		k = store.StreamSize
+	}
+	var out []store.Event
+	for _, v := range views {
+		sh := s.shard(v)
+		sh.mu.Lock()
+		list := sh.views[v]
+		if len(list) > k {
+			list = list[:k]
+		}
+		snapshot := make([]store.Event, len(list))
+		copy(snapshot, list)
+		sh.mu.Unlock()
+		out = store.MergeNewest(out, snapshot, k)
+	}
+	return out
+}

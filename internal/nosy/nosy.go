@@ -1,0 +1,463 @@
+// Package nosy implements the PARALLELNOSY heuristic (§3.2): a parallel,
+// iterative schedule optimizer that scales to large social graphs.
+//
+// Each iteration runs three phases over a frozen snapshot of the schedule:
+//
+//  1. Candidate selection — for every edge w → y not yet covered, build
+//     the single-consumer hub-graph G(X, w, y) with X the common
+//     predecessors of w and y whose cross-edges x → y are still
+//     unscheduled, and keep it if its saved cost exceeds its positive
+//     cost against the hybrid baseline.
+//  2. Edge locking — every edge grants itself to the candidate hub-graph
+//     with the highest gain (ties broken by lowest hub-edge id, making
+//     the outcome independent of goroutine interleaving).
+//  3. Scheduling decision — a candidate holding all its locks commits in
+//     full; one holding a subset re-evaluates the sub-hub-graph X' of
+//     fully locked producers and commits it if still profitable. We also
+//     require the pull edge w → y itself to be locked for any commit: the
+//     commit writes that edge, so writing it without the lock would race
+//     with the winning candidate (the paper's line 17 leaves this
+//     implicit).
+//
+// Decisions are computed against the snapshot and applied afterwards, so
+// every schedule write in an iteration touches an edge locked by exactly
+// one candidate — the MapReduce structure of the paper, on goroutines.
+// Package nosymr runs the identical logic (via Evaluator) as literal
+// MapReduce jobs on the in-memory engine.
+package nosy
+
+import (
+	"runtime"
+	"sync"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/bitset"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/workload"
+)
+
+// Config tunes PARALLELNOSY. The zero value uses the defaults.
+type Config struct {
+	// Workers is the parallelism degree; 0 means GOMAXPROCS.
+	Workers int
+	// MaxIterations bounds the outer loop; 0 means run to convergence
+	// (no candidate commits).
+	MaxIterations int
+	// MaxCrossEdges bounds |X| per candidate hub-graph, the bound b of
+	// §4.2 (100 000 for the Twitter runs). 0 means DefaultMaxCrossEdges.
+	MaxCrossEdges int
+	// DisablePartialCommits turns off the X'-subset re-evaluation of
+	// phase 3 (ablation: convergence needs more iterations).
+	DisablePartialCommits bool
+	// TraceCosts records the finalized schedule cost after every
+	// iteration (needed by the Figure 4 harness; costs one O(m) pass and
+	// a clone per iteration).
+	TraceCosts bool
+}
+
+// DefaultMaxCrossEdges matches §4.2.
+const DefaultMaxCrossEdges = 100000
+
+// IterationStat describes one PARALLELNOSY iteration.
+type IterationStat struct {
+	Candidates     int     // hub-graphs passing the phase-1 gain test
+	FullCommits    int     // candidates committed with all locks
+	PartialCommits int     // candidates committed as sub-hub-graphs
+	CoveredEdges   int     // cross-edges newly covered this iteration
+	Cost           float64 // finalized schedule cost after the iteration (if TraceCosts)
+}
+
+// Result is the solver output.
+type Result struct {
+	Schedule   *core.Schedule
+	Iterations []IterationStat
+}
+
+// Solve runs PARALLELNOSY to convergence and returns the finalized
+// schedule (every edge pushed, pulled, or hub-covered).
+func Solve(g *graph.Graph, r *workload.Rates, cfg Config) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	ev := NewEvaluator(g, r, cfg)
+	st := &state{
+		ev:         ev,
+		cfg:        cfg,
+		locks:      make([]lockWord, g.NumEdges()),
+		lockShards: make([]sync.Mutex, lockShardCount),
+		dirty:      bitset.New(g.NumEdges()),
+		cache:      make([]*Candidate, g.NumEdges()),
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		st.dirty.Set(e)
+	}
+	var iters []IterationStat
+	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
+		stat := st.iterate()
+		if cfg.TraceCosts {
+			snap := ev.Schedule().Clone()
+			snap.Finalize(r)
+			stat.Cost = snap.Cost(r)
+		}
+		iters = append(iters, stat)
+		if stat.FullCommits+stat.PartialCommits == 0 {
+			break
+		}
+	}
+	ev.Schedule().Finalize(r)
+	return Result{Schedule: ev.Schedule(), Iterations: iters}
+}
+
+// Evaluator holds the candidate-pricing logic shared by the shared-memory
+// solver (this package) and the MapReduce solver (package nosymr). All
+// methods read the current schedule snapshot; only Apply writes it.
+type Evaluator struct {
+	g     *graph.Graph
+	r     *workload.Rates
+	cfg   Config
+	sched *core.Schedule
+	cstar []float64      // hybrid per-edge cost c*(e)
+	src   []graph.NodeID // source node per edge (avoids CSR binary search)
+}
+
+// NewEvaluator returns an evaluator over an empty schedule for g.
+func NewEvaluator(g *graph.Graph, r *workload.Rates, cfg Config) *Evaluator {
+	if cfg.MaxCrossEdges == 0 {
+		cfg.MaxCrossEdges = DefaultMaxCrossEdges
+	}
+	ev := &Evaluator{
+		g:     g,
+		r:     r,
+		cfg:   cfg,
+		sched: core.NewSchedule(g),
+		cstar: make([]float64, g.NumEdges()),
+		src:   make([]graph.NodeID, g.NumEdges()),
+	}
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		ev.cstar[e] = baseline.EdgeCost(r, u, v)
+		ev.src[e] = u
+		return true
+	})
+	return ev
+}
+
+// Schedule returns the mutable schedule under optimization.
+func (ev *Evaluator) Schedule() *core.Schedule { return ev.sched }
+
+// Graph returns the underlying graph.
+func (ev *Evaluator) Graph() *graph.Graph { return ev.g }
+
+// Candidate is a profitable hub-graph G(X, w, y) from phase 1. HubEdge
+// (the edge w → y) doubles as the candidate's identity.
+type Candidate struct {
+	HubEdge graph.EdgeID
+	W, Y    graph.NodeID
+	Gain    float64
+	Xs      []graph.NodeID // producers; parallel arrays below
+	XWEdges []graph.EdgeID // x → w
+	XYEdges []graph.EdgeID // x → y
+}
+
+// EvalCandidate builds the hub-graph for hub edge he = (w → y) and prices
+// it against the snapshot, per the phase-1 rules of Algorithm 2. It
+// returns false if the hub-graph offers no positive gain.
+func (ev *Evaluator) EvalCandidate(he graph.EdgeID) (Candidate, bool) {
+	s := ev.sched
+	if s.IsCovered(he) {
+		return Candidate{}, false
+	}
+	w := ev.src[he]
+	y := ev.g.EdgeTarget(he)
+	xs, xwIDs, xyIDs := ev.g.CommonInEdges(w, y, ev.cfg.MaxCrossEdges, nil, nil, nil)
+	if len(xs) == 0 {
+		return Candidate{}, false
+	}
+	c := Candidate{HubEdge: he, W: w, Y: y}
+	var saved, cost float64
+	kept := 0
+	for i, x := range xs {
+		xw, xy := xwIDs[i], xyIDs[i]
+		if s.IsCovered(xw) {
+			continue // don't undo an earlier hub that covers x → w
+		}
+		if s.IsScheduled(xy) {
+			continue // cross-edge already served; covering it is useless
+		}
+		saved += ev.cstar[xy]
+		cost += ev.pushCost(xw, x)
+		xs[kept], xwIDs[kept], xyIDs[kept] = x, xw, xy
+		kept++
+	}
+	if kept == 0 {
+		return Candidate{}, false
+	}
+	c.Xs, c.XWEdges, c.XYEdges = xs[:kept], xwIDs[:kept], xyIDs[:kept]
+	cost += ev.pullCost(he, y)
+	c.Gain = saved - cost
+	if c.Gain <= 0 {
+		return Candidate{}, false
+	}
+	return c, true
+}
+
+// pushCost is c_X(x → w): the extra cost of making the edge a push.
+func (ev *Evaluator) pushCost(xw graph.EdgeID, x graph.NodeID) float64 {
+	s := ev.sched
+	switch {
+	case s.IsPush(xw):
+		return 0 // already paid
+	case s.IsPull(xw):
+		return ev.r.Prod[x] // push added on top of the existing pull
+	default:
+		return ev.r.Prod[x] - ev.cstar[xw] // replaces the eventual hybrid cost
+	}
+}
+
+// pullCost is the specular c(w → y) for the pull edge.
+func (ev *Evaluator) pullCost(wy graph.EdgeID, y graph.NodeID) float64 {
+	s := ev.sched
+	switch {
+	case s.IsPull(wy):
+		return 0
+	case s.IsPush(wy):
+		return ev.r.Cons[y]
+	default:
+		return ev.r.Cons[y] - ev.cstar[wy]
+	}
+}
+
+// Decide implements phase 3 for one candidate given its lock grants:
+// returns the committed subset of producers (indices into c.Xs), whether
+// the commit is partial, and whether to commit at all. The pull edge
+// w → y must be granted for any commit.
+func (ev *Evaluator) Decide(c *Candidate, granted func(graph.EdgeID) bool) (keep []int32, partial, ok bool) {
+	if !granted(c.HubEdge) {
+		return nil, false, false
+	}
+	full := true
+	for j := range c.Xs {
+		if granted(c.XWEdges[j]) && granted(c.XYEdges[j]) {
+			keep = append(keep, int32(j))
+		} else {
+			full = false
+		}
+	}
+	if full {
+		return keep, false, true
+	}
+	if ev.cfg.DisablePartialCommits || len(keep) == 0 {
+		return nil, false, false
+	}
+	// Re-evaluate the sub-hub-graph G(X', w, y) against the same snapshot.
+	var saved, cost float64
+	for _, j := range keep {
+		saved += ev.cstar[c.XYEdges[j]]
+		cost += ev.pushCost(c.XWEdges[j], c.Xs[j])
+	}
+	cost += ev.pullCost(c.HubEdge, c.Y)
+	if saved-cost <= 0 {
+		return nil, false, false
+	}
+	return keep, true, true
+}
+
+// Apply commits the decided subset: pull on w → y, pushes x → w, and hub
+// coverage of the cross-edges.
+func (ev *Evaluator) Apply(c *Candidate, keep []int32) {
+	ev.sched.SetPull(c.HubEdge)
+	for _, j := range keep {
+		ev.sched.SetPush(c.XWEdges[j])
+		ev.sched.SetCovered(c.XYEdges[j], c.W)
+	}
+}
+
+// state carries the shared-memory solver's lock table plus the
+// incremental candidate cache. A hub edge's candidacy depends only on the
+// schedule state of edges pointing into its endpoints, so after an
+// iteration only hub edges in the neighborhoods of changed edges are
+// re-evaluated — the same observation behind the paper's pull-based
+// update dissemination between MapReduce iterations.
+type state struct {
+	ev         *Evaluator
+	cfg        Config
+	locks      []lockWord
+	lockShards []sync.Mutex
+	dirty      *bitset.Set  // hub edges whose evaluation may have changed
+	cache      []*Candidate // current candidate per hub edge, nil if none
+}
+
+// lockWord is an edge's lock cell: the best (gain, owner) request seen.
+// owner is the candidate's hub-edge id; -1 means unclaimed.
+type lockWord struct {
+	gain  float64
+	owner graph.EdgeID
+}
+
+const lockShardCount = 1024 // power of two
+
+// iterate runs one full candidate/lock/decide round.
+func (st *state) iterate() IterationStat {
+	cands := st.phaseCandidates()
+	st.phaseLocks(cands)
+	return st.phaseDecide(cands)
+}
+
+// phaseCandidates re-evaluates dirty hub edges in parallel, refreshes the
+// cache, and returns the full current candidate list.
+func (st *state) phaseCandidates() []*Candidate {
+	m := st.ev.g.NumEdges()
+	var wg sync.WaitGroup
+	chunk := (m + st.cfg.Workers - 1) / st.cfg.Workers
+	for wk := 0; wk < st.cfg.Workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for e := lo; e < hi; e++ {
+				if !st.dirty.Test(e) {
+					continue
+				}
+				if c, ok := st.ev.EvalCandidate(graph.EdgeID(e)); ok {
+					cc := c
+					st.cache[e] = &cc
+				} else {
+					st.cache[e] = nil
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	st.dirty.Reset()
+	var all []*Candidate
+	for e := 0; e < m; e++ {
+		if st.cache[e] != nil {
+			all = append(all, st.cache[e])
+		}
+	}
+	return all
+}
+
+// markDirty flags every hub edge whose evaluation can be affected by a
+// schedule change on the edge into node v: hub edges leaving v (v is the
+// hub) and hub edges entering v (the changed edge may be a cross-edge or
+// the pull edge of those candidates).
+func (st *state) markDirty(v graph.NodeID) {
+	lo, hi := st.ev.g.OutEdgeRange(v)
+	for e := lo; e < hi; e++ {
+		st.dirty.Set(int(e))
+	}
+	for _, e := range st.ev.g.InEdgeIDs(v) {
+		st.dirty.Set(int(e))
+	}
+}
+
+// phaseLocks lets every candidate bid for its edges; each edge keeps the
+// highest-gain bidder (ties: lowest hub-edge id). Sharded mutexes keep the
+// update cheap; the max-merge is commutative and associative, so the
+// result is deterministic regardless of interleaving.
+func (st *state) phaseLocks(cands []*Candidate) {
+	for i := range st.locks {
+		st.locks[i] = lockWord{gain: 0, owner: -1}
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cands) + st.cfg.Workers - 1) / st.cfg.Workers
+	for wk := 0; wk < st.cfg.Workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := cands[i]
+				st.bid(c.HubEdge, c)
+				for j := range c.Xs {
+					st.bid(c.XWEdges[j], c)
+					st.bid(c.XYEdges[j], c)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func (st *state) bid(e graph.EdgeID, c *Candidate) {
+	sh := &st.lockShards[int(e)&(lockShardCount-1)]
+	sh.Lock()
+	cur := &st.locks[e]
+	if cur.owner == -1 || c.Gain > cur.gain ||
+		(c.Gain == cur.gain && c.HubEdge < cur.owner) {
+		*cur = lockWord{gain: c.Gain, owner: c.HubEdge}
+	}
+	sh.Unlock()
+}
+
+// decision is a commit computed against the snapshot, applied afterwards.
+type decision struct {
+	c       *Candidate
+	keep    []int32
+	partial bool
+}
+
+// phaseDecide computes commit decisions in parallel from the snapshot,
+// then applies them; lock ownership guarantees the applied writes are
+// disjoint per edge.
+func (st *state) phaseDecide(cands []*Candidate) IterationStat {
+	perWorker := make([][]decision, st.cfg.Workers)
+	var wg sync.WaitGroup
+	chunk := (len(cands) + st.cfg.Workers - 1) / st.cfg.Workers
+	for wk := 0; wk < st.cfg.Workers; wk++ {
+		lo := wk * chunk
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			var out []decision
+			for i := lo; i < hi; i++ {
+				c := cands[i]
+				granted := func(e graph.EdgeID) bool { return st.locks[e].owner == c.HubEdge }
+				if keep, partial, ok := st.ev.Decide(c, granted); ok {
+					out = append(out, decision{c: c, keep: keep, partial: partial})
+				}
+			}
+			perWorker[wk] = out
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+
+	stat := IterationStat{Candidates: len(cands)}
+	for _, part := range perWorker {
+		for _, d := range part {
+			st.ev.Apply(d.c, d.keep)
+			// All edges written by Apply point into W or Y.
+			st.markDirty(d.c.W)
+			st.markDirty(d.c.Y)
+			if d.partial {
+				stat.PartialCommits++
+			} else {
+				stat.FullCommits++
+			}
+			stat.CoveredEdges += len(d.keep)
+		}
+	}
+	return stat
+}

@@ -1,0 +1,183 @@
+package nosy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/workload"
+)
+
+func figure2() *graph.Graph {
+	return graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2},
+	})
+}
+
+func TestFigure2UsesHub(t *testing.T) {
+	g := figure2()
+	r := workload.NewUniform(3, 1)
+	res := Solve(g, r, Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Cost(r); got != 2 {
+		t.Fatalf("cost = %v, want 2 (hub through node 1)", got)
+	}
+	cross, _ := g.EdgeID(0, 2)
+	if !res.Schedule.IsCovered(cross) || res.Schedule.Hub(cross) != 1 {
+		t.Fatalf("edge 0→2 not covered through hub 1")
+	}
+}
+
+func TestNeverWorseThanHybrid(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(500, 3))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hy := baseline.HybridCost(g, r)
+	if res.Schedule.Cost(r) > hy+1e-6 {
+		t.Fatalf("PARALLELNOSY cost %v worse than hybrid %v", res.Schedule.Cost(r), hy)
+	}
+}
+
+func TestBeatsHybridOnClusteredGraph(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(800, 7))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, Config{})
+	hy := baseline.HybridCost(g, r)
+	if ratio := hy / res.Schedule.Cost(r); ratio < 1.05 {
+		t.Fatalf("improvement ratio = %.3f; expected real gain on clustered graph", ratio)
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(400, 5))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, Config{})
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	last := res.Iterations[len(res.Iterations)-1]
+	if last.FullCommits+last.PartialCommits != 0 {
+		t.Fatalf("did not converge: last iteration committed %d+%d",
+			last.FullCommits, last.PartialCommits)
+	}
+}
+
+func TestTraceCostsMonotone(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(500, 9))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, Config{TraceCosts: true})
+	prev := baseline.HybridCost(g, r) + 1e-9
+	for i, it := range res.Iterations {
+		if it.Cost > prev+1e-6 {
+			t.Fatalf("iteration %d increased cost: %v → %v", i, prev, it.Cost)
+		}
+		prev = it.Cost
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(400, 13))
+	r := workload.LogDegree(g, 5)
+	ref := Solve(g, r, Config{Workers: 1})
+	for _, workers := range []int{2, 4, 8} {
+		got := Solve(g, r, Config{Workers: workers})
+		if got.Schedule.Cost(r) != ref.Schedule.Cost(r) {
+			t.Fatalf("workers=%d cost %v differs from single-worker %v",
+				workers, got.Schedule.Cost(r), ref.Schedule.Cost(r))
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			ee := graph.EdgeID(e)
+			if got.Schedule.IsPush(ee) != ref.Schedule.IsPush(ee) ||
+				got.Schedule.IsPull(ee) != ref.Schedule.IsPull(ee) ||
+				got.Schedule.IsCovered(ee) != ref.Schedule.IsCovered(ee) {
+				t.Fatalf("workers=%d schedule differs at edge %d", workers, e)
+			}
+		}
+	}
+}
+
+func TestPartialCommitsHelp(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(600, 21))
+	r := workload.LogDegree(g, 5)
+	with := Solve(g, r, Config{})
+	without := Solve(g, r, Config{DisablePartialCommits: true})
+	if err := without.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Partial commits should not hurt the final cost, and the variant
+	// without them must still be valid and no worse than hybrid.
+	hy := baseline.HybridCost(g, r)
+	if without.Schedule.Cost(r) > hy+1e-6 {
+		t.Fatal("no-partial variant worse than hybrid")
+	}
+	if with.Schedule.Cost(r) > hy+1e-6 {
+		t.Fatal("default variant worse than hybrid")
+	}
+}
+
+func TestMaxIterationsBounds(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(400, 17))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, Config{MaxIterations: 1})
+	if len(res.Iterations) != 1 {
+		t.Fatalf("MaxIterations=1 ran %d iterations", len(res.Iterations))
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("bounded run still must finalize to a valid schedule: %v", err)
+	}
+}
+
+func TestCrossEdgeBoundValid(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(300, 19))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, Config{MaxCrossEdges: 1})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Cost(r) > baseline.HybridCost(g, r)+1e-6 {
+		t.Fatal("bounded variant worse than hybrid")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	res := Solve(g, workload.NewUniform(0, 5), Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: valid schedules, never worse than hybrid, on random graphs
+// and rates.
+func TestQuickValidAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		var g *graph.Graph
+		if rng.Intn(2) == 0 {
+			g = graphgen.ErdosRenyi(n, 5*n, seed)
+		} else {
+			g = graphgen.Social(graphgen.Config{
+				Nodes: n, AvgFollows: 3 + rng.Intn(6),
+				TriadProb: rng.Float64(), Reciprocity: rng.Float64(), Seed: seed,
+			})
+		}
+		r := workload.LogDegree(g, 0.5+rng.Float64()*20)
+		res := Solve(g, r, Config{Workers: 1 + rng.Intn(4)})
+		if res.Schedule.Validate() != nil {
+			return false
+		}
+		return res.Schedule.Cost(r) <= baseline.HybridCost(g, r)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package nosymr runs PARALLELNOSY as MapReduce jobs, mirroring the
+// paper's Hadoop implementation (§3.2, "Implementing PARALLELNOSY with
+// MapReduce") on the in-memory engine of package mapreduce.
+//
+// Each iteration is two jobs plus a merge, exactly as the paper lays out:
+//
+//   - Job 1 (map = phase 1, reduce = phase 2): each mapper takes a
+//     hub-graph — identified by its hub edge w → y — prices it, and, if
+//     it is a candidate, emits one lock request per edge of the
+//     hub-graph, keyed by the locked edge's id, carrying the candidate's
+//     hub-edge id and gain. Each reducer receives all lock requests for
+//     one edge and grants the lock to the highest-gain candidate,
+//     emitting (hub edge, locked edge).
+//   - Job 2 (reduce-only = phase 3): grants are grouped by hub edge; the
+//     reducer re-derives the candidate from the snapshot, applies the
+//     full/partial commit rule, and emits schedule updates.
+//   - Merge: updates are applied to the schedule; lock ownership makes
+//     them conflict-free, so application order is irrelevant.
+//
+// The pricing, locking, and decision logic is the Evaluator from package
+// nosy, so this solver and the shared-memory one are the same algorithm
+// on different substrates; tests assert they produce identical schedules.
+package nosymr
+
+import (
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/mapreduce"
+	"piggyback/internal/nosy"
+	"piggyback/internal/workload"
+)
+
+// Solve runs PARALLELNOSY via MapReduce jobs and returns the finalized
+// schedule plus per-iteration stats. cfg is interpreted exactly as in
+// package nosy.
+func Solve(g *graph.Graph, r *workload.Rates, cfg nosy.Config) nosy.Result {
+	ev := nosy.NewEvaluator(g, r, cfg)
+	opts := mapreduce.Options{Workers: cfg.Workers}
+
+	// Hub-graph inputs: one per edge, as in the paper's preliminary job.
+	hubEdges := make([]graph.EdgeID, g.NumEdges())
+	for e := range hubEdges {
+		hubEdges[e] = graph.EdgeID(e)
+	}
+
+	var iters []nosy.IterationStat
+	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
+		stat := iterate(ev, hubEdges, opts)
+		if cfg.TraceCosts {
+			snap := ev.Schedule().Clone()
+			snap.Finalize(r)
+			stat.Cost = snap.Cost(r)
+		}
+		iters = append(iters, stat)
+		if stat.FullCommits+stat.PartialCommits == 0 {
+			break
+		}
+	}
+	ev.Schedule().Finalize(r)
+	return nosy.Result{Schedule: ev.Schedule(), Iterations: iters}
+}
+
+// lockRequest is Job 1's map output value: candidate identity and gain.
+type lockRequest struct {
+	hubEdge graph.EdgeID
+	gain    float64
+}
+
+// grant is Job 1's reduce output: lockedEdge is granted to hubEdge.
+// A grant with lockedEdge == candidateMarker is not a lock at all but a
+// "this hub edge bid" marker used to count phase-1 candidates.
+type grant struct {
+	hubEdge    graph.EdgeID
+	lockedEdge graph.EdgeID
+}
+
+// candidateMarker flags counting grants (no real edge has a negative id).
+const candidateMarker graph.EdgeID = -1
+
+// update is Job 2's output: one schedule mutation.
+type update struct {
+	op   updateOp
+	edge graph.EdgeID
+	hub  graph.NodeID // for opCover
+}
+
+type updateOp uint8
+
+const (
+	opPush updateOp = iota
+	opPull
+	opCover
+)
+
+// commitMark tags Job 2 outputs so the merge can count full vs partial
+// commits; emitted once per committed candidate.
+type output struct {
+	upd     update
+	mark    bool // true: this is a commit marker, upd unused except edge
+	partial bool
+	covered int
+}
+
+func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options) nosy.IterationStat {
+	var stat nosy.IterationStat
+
+	// Job 1 — map: phase-1 candidate selection emitting lock requests;
+	// reduce: phase-2 lock granting.
+	grants := mapreduce.Run(
+		hubEdges,
+		func(he graph.EdgeID, emit func(graph.EdgeID, lockRequest)) {
+			c, ok := ev.EvalCandidate(he)
+			if !ok {
+				return
+			}
+			req := lockRequest{hubEdge: he, gain: c.Gain}
+			emit(he, req)
+			for j := range c.Xs {
+				emit(c.XWEdges[j], req)
+				emit(c.XYEdges[j], req)
+			}
+		},
+		mapreduce.Int32Key,
+		func(locked graph.EdgeID, reqs []lockRequest, emit func(grant)) {
+			best := reqs[0]
+			isCandidate := best.hubEdge == locked
+			for _, r := range reqs[1:] {
+				if r.hubEdge == locked {
+					isCandidate = true
+				}
+				if r.gain > best.gain || (r.gain == best.gain && r.hubEdge < best.hubEdge) {
+					best = r
+				}
+			}
+			emit(grant{hubEdge: best.hubEdge, lockedEdge: locked})
+			if isCandidate {
+				// Every candidate bids on its own hub edge, so this reducer
+				// is the one place that sees each candidate exactly once.
+				emit(grant{hubEdge: locked, lockedEdge: candidateMarker})
+			}
+		},
+		opts,
+	)
+	realGrants := grants[:0]
+	for _, gr := range grants {
+		if gr.lockedEdge == candidateMarker {
+			stat.Candidates++
+		} else {
+			realGrants = append(realGrants, gr)
+		}
+	}
+
+	// Job 2 — group grants by hub edge (map), decide and emit updates
+	// (reduce). The reducer re-derives the candidate from the same
+	// snapshot, which is deterministic.
+	outs := mapreduce.Run(
+		realGrants,
+		func(gr grant, emit func(graph.EdgeID, graph.EdgeID)) {
+			emit(gr.hubEdge, gr.lockedEdge)
+		},
+		mapreduce.Int32Key,
+		func(he graph.EdgeID, locked []graph.EdgeID, emit func(output)) {
+			c, ok := ev.EvalCandidate(he)
+			if !ok {
+				// This hub edge won locks for another candidate's edges but
+				// is itself not a candidate (it only appears as key if it
+				// bid, so this cannot happen; guard anyway).
+				return
+			}
+			grantedSet := make(map[graph.EdgeID]bool, len(locked))
+			for _, e := range locked {
+				grantedSet[e] = true
+			}
+			keep, partial, ok := ev.Decide(&c, func(e graph.EdgeID) bool { return grantedSet[e] })
+			if !ok {
+				return
+			}
+			emit(output{mark: true, partial: partial, covered: len(keep)})
+			emit(output{upd: update{op: opPull, edge: c.HubEdge}})
+			for _, j := range keep {
+				emit(output{upd: update{op: opPush, edge: c.XWEdges[j]}})
+				emit(output{upd: update{op: opCover, edge: c.XYEdges[j], hub: c.W}})
+			}
+		},
+		opts,
+	)
+
+	// Merge job: apply updates. Lock ownership makes them disjoint per
+	// edge, so order does not matter.
+	s := ev.Schedule()
+	for _, o := range outs {
+		if o.mark {
+			if o.partial {
+				stat.PartialCommits++
+			} else {
+				stat.FullCommits++
+			}
+			stat.CoveredEdges += o.covered
+			continue
+		}
+		applyUpdate(s, o.upd)
+	}
+	return stat
+}
+
+func applyUpdate(s *core.Schedule, u update) {
+	switch u.op {
+	case opPush:
+		s.SetPush(u.edge)
+	case opPull:
+		s.SetPull(u.edge)
+	case opCover:
+		s.SetCovered(u.edge, u.hub)
+	}
+}

@@ -1,0 +1,116 @@
+package nosymr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/workload"
+)
+
+func TestFigure2(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2},
+	})
+	r := workload.NewUniform(3, 1)
+	res := Solve(g, r, nosy.Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Cost(r); got != 2 {
+		t.Fatalf("cost = %v, want 2", got)
+	}
+}
+
+// The MapReduce implementation must produce the exact same schedule as
+// the shared-memory one: same algorithm, different substrate.
+func TestMatchesSharedMemoryImplementation(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		g := graphgen.Social(graphgen.TwitterLike(200, seed))
+		r := workload.LogDegree(g, 5)
+		mr := Solve(g, r, nosy.Config{})
+		sm := nosy.Solve(g, r, nosy.Config{})
+		if mr.Schedule.Cost(r) != sm.Schedule.Cost(r) {
+			t.Fatalf("seed %d: MR cost %v != shared-memory cost %v",
+				seed, mr.Schedule.Cost(r), sm.Schedule.Cost(r))
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			ee := graph.EdgeID(e)
+			if mr.Schedule.IsPush(ee) != sm.Schedule.IsPush(ee) ||
+				mr.Schedule.IsPull(ee) != sm.Schedule.IsPull(ee) ||
+				mr.Schedule.IsCovered(ee) != sm.Schedule.IsCovered(ee) ||
+				mr.Schedule.Hub(ee) != sm.Schedule.Hub(ee) {
+				t.Fatalf("seed %d: schedules differ at edge %d", seed, e)
+			}
+		}
+		if len(mr.Iterations) != len(sm.Iterations) {
+			t.Fatalf("seed %d: iteration counts differ: %d vs %d",
+				seed, len(mr.Iterations), len(sm.Iterations))
+		}
+		for i := range mr.Iterations {
+			if mr.Iterations[i].FullCommits != sm.Iterations[i].FullCommits ||
+				mr.Iterations[i].PartialCommits != sm.Iterations[i].PartialCommits ||
+				mr.Iterations[i].CoveredEdges != sm.Iterations[i].CoveredEdges {
+				t.Fatalf("seed %d iteration %d stats differ: %+v vs %+v",
+					seed, i, mr.Iterations[i], sm.Iterations[i])
+			}
+		}
+	}
+}
+
+func TestValidAndBeatsHybrid(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(200, 3))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, nosy.Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hy := baseline.HybridCost(g, r)
+	if ratio := hy / res.Schedule.Cost(r); ratio < 1.05 {
+		t.Fatalf("improvement ratio %.3f too low", ratio)
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(150, 9))
+	r := workload.LogDegree(g, 5)
+	ref := Solve(g, r, nosy.Config{Workers: 1})
+	got := Solve(g, r, nosy.Config{Workers: 8})
+	if ref.Schedule.Cost(r) != got.Schedule.Cost(r) {
+		t.Fatalf("worker counts disagree: %v vs %v", ref.Schedule.Cost(r), got.Schedule.Cost(r))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	res := Solve(g, workload.NewUniform(0, 5), nosy.Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MR and shared-memory agree on random graphs.
+func TestQuickAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		g := graphgen.Social(graphgen.Config{
+			Nodes: n, AvgFollows: 3 + rng.Intn(5),
+			TriadProb: rng.Float64(), Reciprocity: rng.Float64(), Seed: seed,
+		})
+		r := workload.LogDegree(g, 0.5+rng.Float64()*10)
+		mr := Solve(g, r, nosy.Config{Workers: 1 + rng.Intn(4)})
+		sm := nosy.Solve(g, r, nosy.Config{Workers: 1 + rng.Intn(4)})
+		if mr.Schedule.Validate() != nil {
+			return false
+		}
+		return mr.Schedule.Cost(r) == sm.Schedule.Cost(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

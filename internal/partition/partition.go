@@ -1,0 +1,149 @@
+// Package partition models data partitioning in the prototype (§4.3):
+// user views are mapped to data-store servers by hashing the user id, and
+// batching lets one message serve every view a request touches on the
+// same server. The package computes the placement-aware predicted cost
+// (Figure 7) and per-server load statistics (Figure 8).
+package partition
+
+import (
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/workload"
+)
+
+// Assignment maps each user view to a server.
+type Assignment struct {
+	Servers int
+	of      []int32
+}
+
+// Hash assigns views to servers by hashing the user id — the "simple
+// partitioning approach that is common in practical data store layers"
+// used by the prototype. seed varies the layout across repetitions.
+func Hash(nodes, servers int, seed int64) Assignment {
+	if servers < 1 {
+		servers = 1
+	}
+	a := Assignment{Servers: servers, of: make([]int32, nodes)}
+	for u := 0; u < nodes; u++ {
+		a.of[u] = int32(splitmix64(uint64(u)^uint64(seed)*0x9e3779b97f4a7c15) % uint64(servers))
+	}
+	return a
+}
+
+// Of returns the server hosting u's view.
+func (a Assignment) Of(u graph.NodeID) int32 { return a.of[u] }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// counterSet counts distinct servers touched by one request using a
+// generation-stamped array — O(1) reset between requests.
+type counterSet struct {
+	stamp []int64
+	gen   int64
+	n     int
+}
+
+func newCounterSet(servers int) *counterSet {
+	return &counterSet{stamp: make([]int64, servers)}
+}
+
+func (c *counterSet) reset() { c.gen++; c.n = 0 }
+
+func (c *counterSet) add(s int32) {
+	if c.stamp[s] != c.gen {
+		c.stamp[s] = c.gen
+		c.n++
+	}
+}
+
+// Cost returns the placement-aware message cost of schedule s: for each
+// user, an update touches the distinct servers hosting its own view and
+// its push set, and a query the distinct servers hosting its own view and
+// its pull set; batching merges same-server touches into one message.
+func Cost(s *core.Schedule, r *workload.Rates, a Assignment) float64 {
+	g := s.Graph()
+	cs := newCounterSet(a.Servers)
+	total := 0.0
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+
+		cs.reset()
+		cs.add(a.Of(uid))
+		lo, hi := g.OutEdgeRange(uid)
+		targets := g.OutNeighbors(uid)
+		for e := lo; e < hi; e++ {
+			if s.IsPush(e) {
+				cs.add(a.Of(targets[e-lo]))
+			}
+		}
+		total += r.Prod[u] * float64(cs.n)
+
+		cs.reset()
+		cs.add(a.Of(uid))
+		in := g.InNeighbors(uid)
+		ids := g.InEdgeIDs(uid)
+		for i, e := range ids {
+			if s.IsPull(e) {
+				cs.add(a.Of(in[i]))
+			}
+		}
+		total += r.Cons[u] * float64(cs.n)
+	}
+	return total
+}
+
+// NormalizedThroughput returns predicted throughput under placement,
+// normalized by the single-server optimum: cost(1 server)/cost(a). With
+// one server every request is one message, so the normalizer is
+// Σ rp(u) + rc(u); the result is 1 at one server and decreases as
+// requests fan out over more servers (Figure 7's left axis).
+func NormalizedThroughput(s *core.Schedule, r *workload.Rates, a Assignment) float64 {
+	oneServer := 0.0
+	for u := range r.Prod {
+		oneServer += r.Prod[u] + r.Cons[u]
+	}
+	c := Cost(s, r, a)
+	if c == 0 {
+		return 0
+	}
+	return oneServer / c
+}
+
+// QueryLoad returns the query-message rate arriving at each server: for
+// every user u and each distinct server its queries touch, that server
+// receives rc(u). This is the load metric of Figure 8.
+func QueryLoad(s *core.Schedule, r *workload.Rates, a Assignment) []float64 {
+	g := s.Graph()
+	load := make([]float64, a.Servers)
+	cs := newCounterSet(a.Servers)
+	touched := make([]int32, 0, 16)
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		cs.reset()
+		touched = touched[:0]
+		add := func(sv int32) {
+			if cs.stamp[sv] != cs.gen {
+				cs.stamp[sv] = cs.gen
+				touched = append(touched, sv)
+			}
+		}
+		add(a.Of(uid))
+		in := g.InNeighbors(uid)
+		ids := g.InEdgeIDs(uid)
+		for i, e := range ids {
+			if s.IsPull(e) {
+				add(a.Of(in[i]))
+			}
+		}
+		for _, sv := range touched {
+			load[sv] += r.Cons[u]
+		}
+	}
+	return load
+}

@@ -1,0 +1,131 @@
+package sampling
+
+import (
+	"testing"
+
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+)
+
+func testGraph() *graph.Graph {
+	return graphgen.Social(graphgen.TwitterLike(2000, 5))
+}
+
+func TestRandomWalkReachesTarget(t *testing.T) {
+	g := testGraph()
+	target := 3000
+	r := RandomWalk(g, target, 1)
+	if r.Graph.NumEdges() < target {
+		t.Fatalf("sample has %d edges, want >= %d", r.Graph.NumEdges(), target)
+	}
+	if r.Graph.NumNodes() != len(r.Original) {
+		t.Fatalf("mapping length %d != nodes %d", len(r.Original), r.Graph.NumNodes())
+	}
+}
+
+func TestBFSReachesTarget(t *testing.T) {
+	g := testGraph()
+	target := 3000
+	r := BFS(g, target, 1)
+	if r.Graph.NumEdges() < target {
+		t.Fatalf("sample has %d edges, want >= %d", r.Graph.NumEdges(), target)
+	}
+}
+
+// Every sampled edge must exist in the original graph under the mapping,
+// and the sample must be the full induced subgraph (no induced edge
+// missing).
+func testInduced(t *testing.T, g *graph.Graph, r Result) {
+	t.Helper()
+	r.Graph.Edges(func(_ graph.EdgeID, u, v graph.NodeID) bool {
+		if !g.HasEdge(r.Original[u], r.Original[v]) {
+			t.Fatalf("sampled edge (%d,%d) missing in original", r.Original[u], r.Original[v])
+		}
+		return true
+	})
+	index := make(map[graph.NodeID]graph.NodeID)
+	for i, orig := range r.Original {
+		index[orig] = graph.NodeID(i)
+	}
+	for _, orig := range r.Original {
+		for _, w := range g.OutNeighbors(orig) {
+			if j, ok := index[w]; ok {
+				if !r.Graph.HasEdge(index[orig], j) {
+					t.Fatalf("induced edge (%d,%d) missing in sample", orig, w)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomWalkInduced(t *testing.T) {
+	g := testGraph()
+	testInduced(t, g, RandomWalk(g, 2000, 3))
+}
+
+func TestBFSInduced(t *testing.T) {
+	g := testGraph()
+	testInduced(t, g, BFS(g, 2000, 3))
+}
+
+func TestSampleWholeGraph(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
+	r := BFS(g, 1000, 1)
+	if r.Graph.NumEdges() != g.NumEdges() || r.Graph.NumNodes() != g.NumNodes() {
+		t.Fatalf("asking for more edges than exist should return the whole graph: %d/%d",
+			r.Graph.NumNodes(), r.Graph.NumEdges())
+	}
+	r2 := RandomWalk(g, 1000, 1)
+	if r2.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("random walk whole-graph sample has %d edges", r2.Graph.NumEdges())
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	g := testGraph()
+	a := RandomWalk(g, 2000, 9)
+	b := RandomWalk(g, 2000, 9)
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed gave different samples")
+	}
+	for i := range a.Original {
+		if a.Original[i] != b.Original[i] {
+			t.Fatal("same seed gave different node orders")
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	if r := RandomWalk(g, 10, 1); r.Graph.NumNodes() != 0 {
+		t.Fatal("empty graph random walk should be empty")
+	}
+	if r := BFS(g, 10, 1); r.Graph.NumNodes() != 0 {
+		t.Fatal("empty graph BFS should be empty")
+	}
+}
+
+func TestBFSPreservesHubDegreeBetter(t *testing.T) {
+	// The paper observes BFS samples keep early nodes' full degree. Check
+	// that the max out-degree in a BFS sample is at least that of the
+	// random-walk sample on average over seeds.
+	g := testGraph()
+	var bfsMax, rwMax int
+	for seed := int64(0); seed < 3; seed++ {
+		b := BFS(g, 4000, seed)
+		r := RandomWalk(g, 4000, seed)
+		for u := 0; u < b.Graph.NumNodes(); u++ {
+			if d := b.Graph.OutDegree(graph.NodeID(u)); d > bfsMax {
+				bfsMax = d
+			}
+		}
+		for u := 0; u < r.Graph.NumNodes(); u++ {
+			if d := r.Graph.OutDegree(graph.NodeID(u)); d > rwMax {
+				rwMax = d
+			}
+		}
+	}
+	if bfsMax == 0 || rwMax == 0 {
+		t.Fatal("degenerate samples")
+	}
+}

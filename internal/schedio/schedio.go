@@ -1,0 +1,110 @@
+// Package schedio serializes request schedules so that the optimizer
+// (expensive, run offline — the paper's MapReduce jobs take about an
+// hour per iteration on the full Twitter graph) can hand its output to
+// the serving tier and the CLI tools.
+//
+// Format (little-endian): magic "PGS1", node count, edge count, then per
+// edge one flag byte (push/pull/covered bits) and, for covered edges
+// only, the int32 hub node. The graph itself is not stored; the loader
+// verifies node/edge counts against the supplied graph and re-validates
+// the schedule, so a schedule file cannot silently attach to the wrong
+// graph.
+package schedio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+)
+
+const magic = 0x50475331 // "PGS1"
+
+const (
+	flagPush    = 1 << 0
+	flagPull    = 1 << 1
+	flagCovered = 1 << 2
+)
+
+// Write serializes s.
+func Write(w io.Writer, s *core.Schedule) error {
+	bw := bufio.NewWriter(w)
+	g := s.Graph()
+	hdr := []uint32{magic, uint32(g.NumNodes()), uint32(g.NumEdges())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		var f byte
+		if s.IsPush(id) {
+			f |= flagPush
+		}
+		if s.IsPull(id) {
+			f |= flagPull
+		}
+		if s.IsCovered(id) {
+			f |= flagCovered
+		}
+		if err := bw.WriteByte(f); err != nil {
+			return err
+		}
+		if f&flagCovered != 0 {
+			if err := binary.Write(bw, binary.LittleEndian, int32(s.Hub(id))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a schedule for g, verifying sizes and Theorem-1
+// validity.
+func Read(r io.Reader, g *graph.Graph) (*core.Schedule, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("schedio: reading header: %w", err)
+	}
+	if hdr[0] != magic {
+		return nil, fmt.Errorf("schedio: bad magic %#x", hdr[0])
+	}
+	if int(hdr[1]) != g.NumNodes() || int(hdr[2]) != g.NumEdges() {
+		return nil, fmt.Errorf("schedio: schedule is for a %d-node/%d-edge graph, got %d/%d",
+			hdr[1], hdr[2], g.NumNodes(), g.NumEdges())
+	}
+	s := core.NewSchedule(g)
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		f, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("schedio: reading edge %d: %w", e, err)
+		}
+		if f&^(flagPush|flagPull|flagCovered) != 0 {
+			return nil, fmt.Errorf("schedio: edge %d has unknown flags %#x", e, f)
+		}
+		if f&flagPush != 0 {
+			s.SetPush(id)
+		}
+		if f&flagPull != 0 {
+			s.SetPull(id)
+		}
+		if f&flagCovered != 0 {
+			var hub int32
+			if err := binary.Read(br, binary.LittleEndian, &hub); err != nil {
+				return nil, fmt.Errorf("schedio: reading hub of edge %d: %w", e, err)
+			}
+			if hub < 0 || int(hub) >= g.NumNodes() {
+				return nil, fmt.Errorf("schedio: edge %d hub %d out of range", e, hub)
+			}
+			s.SetCovered(id, hub)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schedio: loaded schedule invalid: %w", err)
+	}
+	return s, nil
+}

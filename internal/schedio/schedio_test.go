@@ -1,0 +1,118 @@
+package schedio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(200, 1))
+	r := workload.LogDegree(g, 5)
+	s := nosy.Solve(g, r, nosy.Config{}).Schedule
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost(r) != s.Cost(r) {
+		t.Fatalf("cost changed through serialization: %v vs %v", got.Cost(r), s.Cost(r))
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		id := graph.EdgeID(e)
+		if got.IsPush(id) != s.IsPush(id) || got.IsPull(id) != s.IsPull(id) ||
+			got.IsCovered(id) != s.IsCovered(id) || got.Hub(id) != s.Hub(id) {
+			t.Fatalf("edge %d differs after round trip", e)
+		}
+	}
+}
+
+func TestWrongGraphRejected(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(100, 1))
+	other := graphgen.Social(graphgen.TwitterLike(120, 2))
+	r := workload.LogDegree(g, 5)
+	s := nosy.Solve(g, r, nosy.Config{}).Schedule
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf, other); err == nil {
+		t.Fatal("schedule attached to a different graph")
+	}
+}
+
+func TestCorruptInputRejected(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(60, 3))
+	r := workload.LogDegree(g, 5)
+	s := nosy.Solve(g, r, nosy.Config{}).Schedule
+	var buf bytes.Buffer
+	Write(&buf, s)
+	data := buf.Bytes()
+
+	if _, err := Read(bytes.NewReader(nil), g); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xff // break magic
+	if _, err := Read(bytes.NewReader(bad), g); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader(data[:len(data)-2]), g); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	// Flip a flag byte to an unknown value.
+	bad = append([]byte{}, data...)
+	bad[12] = 0x80
+	if _, err := Read(bytes.NewReader(bad), g); err == nil {
+		t.Fatal("unknown flags accepted")
+	}
+}
+
+func TestInvalidScheduleRejected(t *testing.T) {
+	// An empty schedule round-trips structurally but fails Theorem 1;
+	// Read must reject it.
+	g := graphgen.Social(graphgen.TwitterLike(50, 5))
+	s := core.NewSchedule(g)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf, g); err == nil {
+		t.Fatal("invalid (unserved) schedule accepted")
+	}
+}
+
+// Property: serialization round-trips arbitrary optimized schedules.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		g := graphgen.Social(graphgen.Config{
+			Nodes: n, AvgFollows: 4, TriadProb: 0.5, Reciprocity: 0.4, Seed: seed,
+		})
+		r := workload.LogDegree(g, 0.5+rng.Float64()*10)
+		s := nosy.Solve(g, r, nosy.Config{}).Schedule
+		var buf bytes.Buffer
+		if Write(&buf, s) != nil {
+			return false
+		}
+		got, err := Read(&buf, g)
+		if err != nil {
+			return false
+		}
+		return got.Cost(r) == s.Cost(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

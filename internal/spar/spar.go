@@ -1,0 +1,98 @@
+// Package spar models the SPAR storage layer (Pujol et al.), the related
+// system §5 contrasts with: every user has a master replica, and slave
+// replicas of u are co-located with the masters of all of u's followers,
+// so new events are pushed asynchronously from the master to every slave
+// and queries touch only the user's own server.
+//
+// In the paper's cost model SPAR is an (asynchronous) push-all schedule,
+// which Silberstein et al. showed is never more efficient than the hybrid
+// schedule — the claim this package makes testable. SPAR buys its
+// single-server queries with replica storage: this package also reports
+// the replication factor, the overhead the paper's client-side approach
+// avoids.
+package spar
+
+import (
+	"piggyback/internal/graph"
+	"piggyback/internal/partition"
+	"piggyback/internal/workload"
+)
+
+// Cost returns SPAR's throughput cost in the paper's edge model: each
+// follow edge u → v costs one push per event of u, i.e. the push-all
+// cost Σ_{u→v∈E} rp(u). Queries are free beyond the implicit own-view
+// access, like every schedule's own-view traffic.
+func Cost(g *graph.Graph, r *workload.Rates) float64 {
+	total := 0.0
+	g.Edges(func(_ graph.EdgeID, u, _ graph.NodeID) bool {
+		total += r.Prod[u]
+		return true
+	})
+	return total
+}
+
+// PlacementCost returns SPAR's message cost under a master placement with
+// batching: an update by u sends one message to each distinct server
+// hosting a master of {u} ∪ followers(u) (the slaves live there); a query
+// touches exactly one server — SPAR's headline property.
+func PlacementCost(g *graph.Graph, r *workload.Rates, a partition.Assignment) float64 {
+	total := 0.0
+	seen := make([]int64, a.Servers)
+	gen := int64(0)
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		gen++
+		n := 0
+		touch := func(s int32) {
+			if seen[s] != gen {
+				seen[s] = gen
+				n++
+			}
+		}
+		touch(a.Of(uid))
+		for _, v := range g.OutNeighbors(uid) {
+			touch(a.Of(v))
+		}
+		total += r.Prod[u] * float64(n) // async pushes to slave replicas
+		total += r.Cons[u] * 1          // query: own server only
+	}
+	return total
+}
+
+// Replication reports SPAR's storage cost: the number of replicas (master
+// plus slaves) per user and in total. A user u needs one master plus one
+// slave per distinct *other* server hosting a follower's master.
+type Replication struct {
+	TotalReplicas int
+	Factor        float64 // TotalReplicas / users — SPAR's memory multiplier
+	MaxPerUser    int
+}
+
+// Replicas computes the replication footprint under a placement.
+func Replicas(g *graph.Graph, a partition.Assignment) Replication {
+	rep := Replication{}
+	seen := make([]int64, a.Servers)
+	gen := int64(0)
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		gen++
+		own := a.Of(uid)
+		seen[own] = gen
+		n := 1 // master
+		for _, v := range g.OutNeighbors(uid) {
+			s := a.Of(v)
+			if seen[s] != gen {
+				seen[s] = gen
+				n++
+			}
+		}
+		rep.TotalReplicas += n
+		if n > rep.MaxPerUser {
+			rep.MaxPerUser = n
+		}
+	}
+	if g.NumNodes() > 0 {
+		rep.Factor = float64(rep.TotalReplicas) / float64(g.NumNodes())
+	}
+	return rep
+}

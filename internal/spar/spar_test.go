@@ -1,0 +1,104 @@
+package spar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/partition"
+	"piggyback/internal/workload"
+)
+
+func setup(n int, seed int64) (*graph.Graph, *workload.Rates) {
+	g := graphgen.Social(graphgen.FlickrLike(n, seed))
+	return g, workload.LogDegree(g, 5)
+}
+
+// The §5 claim: SPAR's (asynchronous) push-all schedule is never more
+// efficient than the hybrid schedule in the throughput cost model.
+func TestNeverBeatsHybrid(t *testing.T) {
+	g, r := setup(500, 1)
+	if spar, hy := Cost(g, r), baseline.HybridCost(g, r); spar < hy-1e-9 {
+		t.Fatalf("SPAR cost %v below hybrid %v — contradicts §5", spar, hy)
+	}
+}
+
+func TestCostEqualsPushAll(t *testing.T) {
+	g, r := setup(300, 2)
+	if got, want := Cost(g, r), baseline.PushAll(g).Cost(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SPAR cost %v != push-all cost %v", got, want)
+	}
+}
+
+func TestQueriesAreSingleServer(t *testing.T) {
+	// With production zero, SPAR's placement cost reduces to one message
+	// per query — its defining property.
+	g, _ := setup(200, 3)
+	n := g.NumNodes()
+	r := &workload.Rates{Prod: make([]float64, n), Cons: make([]float64, n)}
+	var want float64
+	for u := 0; u < n; u++ {
+		r.Cons[u] = 1 + float64(u%7)
+		want += r.Cons[u]
+	}
+	a := partition.Hash(n, 64, 0)
+	if got := PlacementCost(g, r, a); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("query-only placement cost %v, want %v", got, want)
+	}
+}
+
+func TestReplicationGrowsWithServers(t *testing.T) {
+	g, _ := setup(400, 4)
+	prev := 0.0
+	for _, servers := range []int{1, 4, 16, 64} {
+		rep := Replicas(g, partition.Hash(g.NumNodes(), servers, 0))
+		if rep.Factor < prev-1e-9 {
+			t.Fatalf("replication factor fell from %v to %v at %d servers",
+				prev, rep.Factor, servers)
+		}
+		prev = rep.Factor
+	}
+	// One server: exactly one replica per user.
+	one := Replicas(g, partition.Hash(g.NumNodes(), 1, 0))
+	if one.TotalReplicas != g.NumNodes() || one.Factor != 1 {
+		t.Fatalf("single-server replication: %+v", one)
+	}
+}
+
+// At scale, piggybacking beats SPAR on update traffic while SPAR keeps
+// the query advantage; on a read/write-5 workload with a clustered graph
+// the PARALLELNOSY schedule still wins overall in the edge cost model.
+func TestPiggybackingBeatsSPAREdgeModel(t *testing.T) {
+	g, r := setup(500, 5)
+	pn := nosy.Solve(g, r, nosy.Config{}).Schedule
+	if pnCost, sparCost := pn.Cost(r), Cost(g, r); pnCost >= sparCost {
+		t.Fatalf("PARALLELNOSY %v should beat SPAR/push-all %v on r/w=5", pnCost, sparCost)
+	}
+}
+
+// Property: SPAR placement cost is bounded below by one message per
+// request and above by the unbatched push-all message count.
+func TestQuickPlacementBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		g := graphgen.ErdosRenyi(n, 4*n, seed)
+		r := workload.LogDegree(g, 0.5+rng.Float64()*10)
+		a := partition.Hash(n, 1+rng.Intn(32), seed)
+		got := PlacementCost(g, r, a)
+		lower, upper := 0.0, 0.0
+		for u := 0; u < n; u++ {
+			lower += r.Prod[u] + r.Cons[u]
+			upper += r.Prod[u]*float64(1+g.OutDegree(graph.NodeID(u))) + r.Cons[u]
+		}
+		return got >= lower-1e-6 && got <= upper+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

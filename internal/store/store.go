@@ -1,0 +1,306 @@
+// Package store is the social-networking system prototype of §4.3.
+//
+// The paper's prototype uses Java application-logic servers and memcached
+// data stores on a Gigabit cluster; this package substitutes an
+// in-process simulation with the same structure: every data-store server
+// is a goroutine owning a set of user views (event-id lists); clients run
+// Algorithm 3 verbatim — updates write the user's own view plus its push
+// set, queries read the user's own view plus its pull set, one batched
+// message per server, merging the ten latest events. Messages are real
+// channel round-trips plus a configurable busy-work service time standing
+// in for the network and memcached processing; actual throughput is
+// wall-clock requests per second, measured, not derived from the cost
+// model.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/partition"
+)
+
+// Event is the (user id, event id, timestamp) tuple of the prototype; 24
+// bytes, exactly as in §4.3.
+type Event struct {
+	User graph.NodeID
+	ID   int64
+	TS   int64
+}
+
+// StreamSize is the number of latest events a query returns (the
+// prototype returns "the 10 latest events across all friends").
+const StreamSize = 10
+
+// ViewCap bounds the events retained per view; the server trims views
+// that grow beyond it (the paper's thin memcached layer does the same).
+const ViewCap = 64
+
+// server is one data-store server: a goroutine owning the views of the
+// users assigned to it.
+type server struct {
+	req chan request
+	// views is owned by the server goroutine exclusively; no lock needed.
+	views map[graph.NodeID][]Event // events kept newest-first
+
+	serviceSpins int
+}
+
+type reqKind uint8
+
+const (
+	reqUpdate reqKind = iota
+	reqQuery
+)
+
+// request is one batched message: an update of several views with one
+// event, or a query over several views.
+type request struct {
+	kind  reqKind
+	views []graph.NodeID
+	ev    Event
+	reply chan []Event // query reply: up to StreamSize events, newest first
+	done  chan struct{}
+}
+
+func (s *server) run() {
+	for r := range s.req {
+		spin(s.serviceSpins)
+		switch r.kind {
+		case reqUpdate:
+			for _, v := range r.views {
+				s.insert(v, r.ev)
+			}
+			r.done <- struct{}{}
+		case reqQuery:
+			r.reply <- s.query(r.views)
+		}
+	}
+}
+
+// insert adds ev to view v keeping newest-first order and the cap.
+func (s *server) insert(v graph.NodeID, ev Event) {
+	list := s.views[v]
+	i := sort.Search(len(list), func(i int) bool { return list[i].TS <= ev.TS })
+	list = append(list, Event{})
+	copy(list[i+1:], list[i:])
+	list[i] = ev
+	if len(list) > ViewCap {
+		list = list[:ViewCap]
+	}
+	s.views[v] = list
+}
+
+// query merges the requested views and returns the StreamSize latest
+// events (the server-side filter of the paper's thin memcached layer).
+func (s *server) query(views []graph.NodeID) []Event {
+	var out []Event
+	for _, v := range views {
+		list := s.views[v]
+		if len(list) > StreamSize {
+			list = list[:StreamSize]
+		}
+		out = merge(out, list)
+	}
+	return out
+}
+
+// merge combines two newest-first lists into the StreamSize newest.
+func merge(a, b []Event) []Event { return MergeNewest(a, b, StreamSize) }
+
+// MergeNewest combines two newest-first event lists into the k newest,
+// the filter step of Algorithm 3. Shared with the TCP prototype
+// (package netstore).
+func MergeNewest(a, b []Event, k int) []Event {
+	out := make([]Event, 0, k)
+	i, j := 0, 0
+	for len(out) < k && (i < len(a) || j < len(b)) {
+		switch {
+		case i >= len(a):
+			out = append(out, b[j])
+			j++
+		case j >= len(b):
+			out = append(out, a[i])
+			i++
+		case a[i].TS >= b[j].TS:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}
+
+// spin models per-message service time with busy work (wall-clock sleeps
+// are far too coarse at microsecond scale).
+func spin(n int) {
+	x := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	if x == 0 { // never true; defeats dead-code elimination
+		panic("xorshift reached zero")
+	}
+}
+
+// Options configures a Cluster.
+type Options struct {
+	// Servers is the number of simulated data-store servers.
+	Servers int
+	// ServiceSpins is the busy-work units per message on the server,
+	// standing in for network + memcached processing time. 0 means
+	// DefaultServiceSpins.
+	ServiceSpins int
+	// PartitionSeed varies the hash placement of views.
+	PartitionSeed int64
+}
+
+// DefaultServiceSpins ≈ a few hundred nanoseconds of work per message.
+const DefaultServiceSpins = 400
+
+// Cluster is the simulated data-store tier plus the request schedule the
+// clients follow.
+type Cluster struct {
+	g       *graph.Graph
+	sched   *core.Schedule
+	assign  partition.Assignment
+	servers []*server
+
+	// Per-user push/pull server batches, precomputed: the schedule and
+	// partition are static during a run, exactly like the in-memory
+	// push/pull sets of Algorithm 3.
+	pushBatch [][]batch
+	pullBatch [][]batch
+
+	closeOnce sync.Once
+}
+
+// batch is the per-server slice of views one request touches.
+type batch struct {
+	server int32
+	views  []graph.NodeID
+}
+
+// NewCluster starts the server goroutines and precomputes per-user
+// batches from the schedule.
+func NewCluster(s *core.Schedule, opts Options) (*Cluster, error) {
+	if opts.Servers < 1 {
+		return nil, fmt.Errorf("store: need at least one server, got %d", opts.Servers)
+	}
+	if opts.ServiceSpins == 0 {
+		opts.ServiceSpins = DefaultServiceSpins
+	}
+	g := s.Graph()
+	c := &Cluster{
+		g:      g,
+		sched:  s,
+		assign: partition.Hash(g.NumNodes(), opts.Servers, opts.PartitionSeed),
+	}
+	for i := 0; i < opts.Servers; i++ {
+		sv := &server{
+			req:          make(chan request, 128),
+			views:        make(map[graph.NodeID][]Event),
+			serviceSpins: opts.ServiceSpins,
+		}
+		c.servers = append(c.servers, sv)
+		go sv.run()
+	}
+	c.pushBatch = make([][]batch, g.NumNodes())
+	c.pullBatch = make([][]batch, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		c.pushBatch[u] = c.group(append(s.PushSet(uid), uid))
+		c.pullBatch[u] = c.group(append(s.PullSet(uid), uid))
+	}
+	return c, nil
+}
+
+// group buckets views by their hosting server.
+func (c *Cluster) group(views []graph.NodeID) []batch {
+	byServer := make(map[int32][]graph.NodeID)
+	for _, v := range views {
+		s := c.assign.Of(v)
+		byServer[s] = append(byServer[s], v)
+	}
+	out := make([]batch, 0, len(byServer))
+	for s, vs := range byServer {
+		out = append(out, batch{server: s, views: vs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].server < out[j].server })
+	return out
+}
+
+// Close shuts the server goroutines down. The cluster must be idle.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		for _, sv := range c.servers {
+			close(sv.req)
+		}
+	})
+}
+
+// NumServers returns the data-store tier size.
+func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// MessagesPerUpdate returns how many server messages an update by u costs.
+func (c *Cluster) MessagesPerUpdate(u graph.NodeID) int { return len(c.pushBatch[u]) }
+
+// MessagesPerQuery returns how many server messages a query by u costs.
+func (c *Cluster) MessagesPerQuery(u graph.NodeID) int { return len(c.pullBatch[u]) }
+
+// Client issues requests against the cluster, implementing the
+// application-logic server of Algorithm 3. Clients are not safe for
+// concurrent use; run one per goroutine.
+type Client struct {
+	c     *Cluster
+	done  chan struct{}
+	reply chan []Event
+}
+
+// NewClient returns a client bound to the cluster.
+func (c *Cluster) NewClient() *Client {
+	return &Client{
+		c:     c,
+		done:  make(chan struct{}, 16),
+		reply: make(chan []Event, 16),
+	}
+}
+
+// Update shares a new event by user u: one batched update message per
+// data-store server holding a view in u's push set (plus u's own), then
+// waits for all acks — the upper half of Algorithm 3.
+func (cl *Client) Update(u graph.NodeID, ev Event) {
+	batches := cl.c.pushBatch[u]
+	for _, b := range batches {
+		cl.c.servers[b.server].req <- request{
+			kind: reqUpdate, views: b.views, ev: ev, done: cl.done,
+		}
+	}
+	for range batches {
+		<-cl.done
+	}
+}
+
+// Query assembles u's event stream: one batched query per data-store
+// server holding a view in u's pull set (plus u's own), merging replies
+// with the StreamSize filter — the lower half of Algorithm 3.
+func (cl *Client) Query(u graph.NodeID) []Event {
+	batches := cl.c.pullBatch[u]
+	for _, b := range batches {
+		cl.c.servers[b.server].req <- request{
+			kind: reqQuery, views: b.views, reply: cl.reply,
+		}
+	}
+	var out []Event
+	for range batches {
+		out = merge(out, <-cl.reply)
+	}
+	return out
+}

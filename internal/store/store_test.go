@@ -1,0 +1,241 @@
+package store
+
+import (
+	"testing"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/workload"
+)
+
+func figure2() (*graph.Graph, *workload.Rates) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2},
+	})
+	return g, workload.NewUniform(3, 1)
+}
+
+func newCluster(t *testing.T, s *core.Schedule, servers int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(s, Options{Servers: servers, ServiceSpins: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestUpdateThenQueryDirectPush(t *testing.T) {
+	g, r := figure2()
+	s := baseline.PushAll(g)
+	_ = r
+	c := newCluster(t, s, 2)
+	cl := c.NewClient()
+	cl.Update(0, Event{User: 0, ID: 1, TS: 100})
+	// Node 2 follows 0; with push-all the event is already in 2's view.
+	got := cl.Query(2)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("Query(2) = %v, want the pushed event", got)
+	}
+	// Node 0's own stream contains its own event.
+	own := cl.Query(0)
+	if len(own) != 1 || own[0].ID != 1 {
+		t.Fatalf("Query(0) = %v, want own event", own)
+	}
+}
+
+func TestUpdateThenQueryDirectPull(t *testing.T) {
+	g, _ := figure2()
+	s := baseline.PullAll(g)
+	c := newCluster(t, s, 2)
+	cl := c.NewClient()
+	cl.Update(0, Event{User: 0, ID: 7, TS: 50})
+	got := cl.Query(2)
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("Query(2) = %v, want the pulled event", got)
+	}
+}
+
+// Bounded staleness through a hub (Θ = 2Δ): after the update completes,
+// the event is in the hub's view; the next query pulls it from there.
+func TestUpdateThenQueryThroughHub(t *testing.T) {
+	g, r := figure2()
+	res := nosy.Solve(g, r, nosy.Config{})
+	cross, _ := g.EdgeID(0, 2)
+	if !res.Schedule.IsCovered(cross) {
+		t.Fatal("precondition: edge 0→2 should be hub-covered")
+	}
+	c := newCluster(t, res.Schedule, 3)
+	cl := c.NewClient()
+	cl.Update(0, Event{User: 0, ID: 9, TS: 10})
+	got := cl.Query(2)
+	found := false
+	for _, ev := range got {
+		if ev.User == 0 && ev.ID == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Query(2) = %v, missing hub-piggybacked event", got)
+	}
+}
+
+// Every schedule that passes Validate must deliver every producer's
+// events to every consumer — the prototype-level restatement of
+// Theorem 1, checked on a real graph with a real PARALLELNOSY schedule.
+func TestBoundedStalenessAllEdges(t *testing.T) {
+	g := graphgen.Social(graphgen.Config{
+		Nodes: 60, AvgFollows: 5, TriadProb: 0.6, Reciprocity: 0.4, Seed: 3,
+	})
+	r := workload.LogDegree(g, 5)
+	res := nosy.Solve(g, r, nosy.Config{})
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := newCluster(t, res.Schedule, 5)
+	cl := c.NewClient()
+	ts := int64(1)
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		cl.Update(u, Event{User: u, ID: ts, TS: ts})
+		got := cl.Query(v)
+		found := false
+		for _, ev := range got {
+			if ev.User == u && ev.ID == ts {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %d→%d: event not visible after one round", u, v)
+		}
+		ts++
+		return true
+	})
+}
+
+func TestStreamSizeFilter(t *testing.T) {
+	g, _ := figure2()
+	s := baseline.PushAll(g)
+	c := newCluster(t, s, 1)
+	cl := c.NewClient()
+	for i := 0; i < 30; i++ {
+		cl.Update(0, Event{User: 0, ID: int64(i), TS: int64(i)})
+	}
+	got := cl.Query(2)
+	if len(got) != StreamSize {
+		t.Fatalf("stream has %d events, want %d", len(got), StreamSize)
+	}
+	// Newest first: ids 29, 28, ...
+	for i, ev := range got {
+		if ev.ID != int64(29-i) {
+			t.Fatalf("stream[%d] = id %d, want %d", i, ev.ID, 29-i)
+		}
+	}
+}
+
+func TestViewCapTrims(t *testing.T) {
+	g, _ := figure2()
+	s := baseline.PushAll(g)
+	c := newCluster(t, s, 1)
+	cl := c.NewClient()
+	for i := 0; i < ViewCap*3; i++ {
+		cl.Update(0, Event{User: 0, ID: int64(i), TS: int64(i)})
+	}
+	// The query still returns the newest events despite trimming.
+	got := cl.Query(2)
+	if got[0].ID != int64(ViewCap*3-1) {
+		t.Fatalf("newest event id = %d, want %d", got[0].ID, ViewCap*3-1)
+	}
+}
+
+func TestMessageCounts(t *testing.T) {
+	g, r := figure2()
+	s := baseline.Hybrid(g, r) // uniform ratio 1: pushes win ties
+	c := newCluster(t, s, 64)  // many servers → no accidental batching
+	// With hybrid at ratio 1, every edge is a push (ties to push):
+	// update by 0 touches views {0,1,2} → usually 3 distinct servers.
+	if got := c.MessagesPerUpdate(0); got < 1 || got > 3 {
+		t.Fatalf("MessagesPerUpdate(0) = %d", got)
+	}
+	// Query by 2 touches only its own view.
+	if got := c.MessagesPerQuery(2); got != 1 {
+		t.Fatalf("MessagesPerQuery(2) = %d, want 1", got)
+	}
+}
+
+func TestGenerateTraceDistribution(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(200, 1))
+	r := workload.LogDegree(g, 5)
+	tr := GenerateTrace(r, 20000, 7)
+	if len(tr) != 20000 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	updates := 0
+	for _, req := range tr {
+		if req.IsUpdate {
+			updates++
+		}
+		if int(req.User) >= g.NumNodes() {
+			t.Fatalf("request user %d out of range", req.User)
+		}
+	}
+	// Update fraction should approximate Σrp/(Σrp+Σrc) = 1/(1+5) ≈ 0.167.
+	frac := float64(updates) / float64(len(tr))
+	if frac < 0.12 || frac > 0.22 {
+		t.Fatalf("update fraction = %.3f, want ≈ 1/6", frac)
+	}
+}
+
+func TestMeasureThroughputRuns(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(150, 2))
+	r := workload.LogDegree(g, 5)
+	s := nosy.Solve(g, r, nosy.Config{}).Schedule
+	c := newCluster(t, s, 8)
+	tr := GenerateTrace(r, 2000, 3)
+	res := MeasureThroughput(c, tr, 4)
+	if res.Requests != 2000 || res.ReqPerSec <= 0 || res.PerClientRate <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.PerClientRate*float64(res.Clients) != res.ReqPerSec {
+		t.Fatalf("per-client rate inconsistent: %+v", res)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP50 > res.LatencyP95 || res.LatencyP95 > res.LatencyP99 {
+		t.Fatalf("latency percentiles out of order: p50=%v p95=%v p99=%v",
+			res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	}
+}
+
+func TestPredictedMessagesBounds(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(200, 4))
+	r := workload.LogDegree(g, 5)
+	s := baseline.Hybrid(g, r)
+	c := newCluster(t, s, 16)
+	pm := PredictedMessages(c, r)
+	if pm < 1 {
+		t.Fatalf("predicted messages per request = %v, must be >= 1", pm)
+	}
+}
+
+func TestClusterRejectsZeroServers(t *testing.T) {
+	g, r := figure2()
+	s := baseline.Hybrid(g, r)
+	if _, err := NewCluster(s, Options{Servers: 0}); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}
+
+func TestMoreServersMoreMessages(t *testing.T) {
+	// The Figure 6 mechanism: with more servers, requests touch more
+	// distinct servers, so average messages per request rises.
+	g := graphgen.Social(graphgen.FlickrLike(300, 5))
+	r := workload.LogDegree(g, 5)
+	s := baseline.Hybrid(g, r)
+	c1 := newCluster(t, s, 1)
+	c64 := newCluster(t, s, 64)
+	if PredictedMessages(c1, r) >= PredictedMessages(c64, r) {
+		t.Fatalf("messages per request should grow with servers: %v vs %v",
+			PredictedMessages(c1, r), PredictedMessages(c64, r))
+	}
+}

@@ -1,0 +1,151 @@
+// Package workload models per-user production and consumption rates.
+//
+// Following §4.1 of the paper: real workload traces were unavailable even
+// to the authors, who synthesize rates from the observation (Huberman et
+// al.) that users with many followers produce more and users following
+// many accounts consume more. Rates are proportional to the logarithm of
+// follower / followee counts, scaled so that the ratio of average
+// consumption rate to average production rate equals the read/write ratio
+// (reference value 5, per Silberstein et al.).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"piggyback/internal/graph"
+)
+
+// DefaultReadWriteRatio is the reference consumption/production ratio from
+// the paper (§4.1).
+const DefaultReadWriteRatio = 5.0
+
+// Rates holds per-user request rates. Prod[u] is the rate at which u
+// shares events; Cons[u] is the rate at which u requests its event stream.
+type Rates struct {
+	Prod []float64
+	Cons []float64
+}
+
+// NewUniform returns rates of 1 for production and ratio for consumption
+// for every one of n users.
+func NewUniform(n int, ratio float64) *Rates {
+	r := &Rates{Prod: make([]float64, n), Cons: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		r.Prod[i] = 1
+		r.Cons[i] = ratio
+	}
+	return r
+}
+
+// LogDegree derives rates from g: production ∝ 1 + ln(1 + followers),
+// consumption ∝ 1 + ln(1 + followees), then rescales consumption so that
+// mean(Cons)/mean(Prod) = readWriteRatio. In our edge convention u → v
+// means v subscribes to u, so u's followers are its out-neighbors and u's
+// followees its in-neighbors.
+func LogDegree(g *graph.Graph, readWriteRatio float64) *Rates {
+	n := g.NumNodes()
+	r := &Rates{Prod: make([]float64, n), Cons: make([]float64, n)}
+	var sumP, sumC float64
+	for u := 0; u < n; u++ {
+		p := 1 + math.Log(1+float64(g.OutDegree(graph.NodeID(u))))
+		c := 1 + math.Log(1+float64(g.InDegree(graph.NodeID(u))))
+		r.Prod[u] = p
+		r.Cons[u] = c
+		sumP += p
+		sumC += c
+	}
+	if n == 0 || sumC == 0 || sumP == 0 {
+		return r
+	}
+	scale := readWriteRatio * sumP / sumC
+	for u := range r.Cons {
+		r.Cons[u] *= scale
+	}
+	return r
+}
+
+// Zipf derives rates where user activity is Zipf-distributed and
+// independent of degree — an alternative to the paper's log-degree model
+// for sensitivity analysis: the log-degree model ties activity to
+// position in the graph, Zipf breaks that tie while keeping heavy skew.
+// s > 1 is the Zipf exponent; consumption is rescaled to the read/write
+// ratio as in LogDegree. Deterministic given the seed.
+func Zipf(n int, s, readWriteRatio float64, seed int64) *Rates {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, 1000)
+	r := &Rates{Prod: make([]float64, n), Cons: make([]float64, n)}
+	var sumP, sumC float64
+	for u := 0; u < n; u++ {
+		r.Prod[u] = 1 + float64(z.Uint64())
+		r.Cons[u] = 1 + float64(z.Uint64())
+		sumP += r.Prod[u]
+		sumC += r.Cons[u]
+	}
+	if n == 0 || sumC == 0 || sumP == 0 {
+		return r
+	}
+	scale := readWriteRatio * sumP / sumC
+	for u := range r.Cons {
+		r.Cons[u] *= scale
+	}
+	return r
+}
+
+// WithRatio returns a copy of r with consumption rates rescaled so the
+// mean consumption / mean production ratio equals readWriteRatio. Used by
+// the Figure 9 sweep, which varies the read/write ratio on fixed graphs.
+func (r *Rates) WithRatio(readWriteRatio float64) *Rates {
+	out := &Rates{
+		Prod: append([]float64(nil), r.Prod...),
+		Cons: append([]float64(nil), r.Cons...),
+	}
+	var sumP, sumC float64
+	for i := range r.Prod {
+		sumP += r.Prod[i]
+		sumC += r.Cons[i]
+	}
+	if sumC == 0 || sumP == 0 {
+		return out
+	}
+	scale := readWriteRatio * sumP / sumC
+	for i := range out.Cons {
+		out.Cons[i] *= scale
+	}
+	return out
+}
+
+// N returns the number of users covered by the rates.
+func (r *Rates) N() int { return len(r.Prod) }
+
+// ReadWriteRatio reports mean consumption / mean production.
+func (r *Rates) ReadWriteRatio() float64 {
+	var sumP, sumC float64
+	for i := range r.Prod {
+		sumP += r.Prod[i]
+		sumC += r.Cons[i]
+	}
+	if sumP == 0 {
+		return 0
+	}
+	return sumC / sumP
+}
+
+// Validate checks the rates are usable for a graph with n nodes: correct
+// length, non-negative, finite.
+func (r *Rates) Validate(n int) error {
+	if len(r.Prod) != n || len(r.Cons) != n {
+		return fmt.Errorf("workload: rates cover %d/%d users, graph has %d nodes",
+			len(r.Prod), len(r.Cons), n)
+	}
+	for i := 0; i < n; i++ {
+		if r.Prod[i] < 0 || r.Cons[i] < 0 ||
+			math.IsNaN(r.Prod[i]) || math.IsNaN(r.Cons[i]) ||
+			math.IsInf(r.Prod[i], 0) || math.IsInf(r.Cons[i], 0) {
+			return fmt.Errorf("workload: invalid rate for user %d: prod=%v cons=%v",
+				i, r.Prod[i], r.Cons[i])
+		}
+	}
+	return nil
+}

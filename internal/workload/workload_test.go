@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestUniform(t *testing.T) {
+	r := NewUniform(10, 5)
+	if r.N() != 10 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almost(r.ReadWriteRatio(), 5) {
+		t.Fatalf("ratio = %v", r.ReadWriteRatio())
+	}
+	if err := r.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogDegreeRatio(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(1000, 2))
+	for _, ratio := range []float64{1, 5, 100} {
+		r := LogDegree(g, ratio)
+		if !almost(r.ReadWriteRatio(), ratio) {
+			t.Fatalf("ratio %v: got %v", ratio, r.ReadWriteRatio())
+		}
+		if err := r.Validate(g.NumNodes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLogDegreeMonotonicInDegree(t *testing.T) {
+	// Star: node 0 followed by 1,2,3 (edges 0→1,0→2,0→3): node 0 has 3
+	// followers, so highest production rate.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3}})
+	r := LogDegree(g, 5)
+	for u := 1; u < 4; u++ {
+		if r.Prod[0] <= r.Prod[u] {
+			t.Fatalf("celebrity production %v not above leaf %v", r.Prod[0], r.Prod[u])
+		}
+		if r.Cons[u] <= r.Cons[0] {
+			t.Fatalf("follower consumption %v not above celebrity %v", r.Cons[u], r.Cons[0])
+		}
+	}
+}
+
+func TestWithRatioRescales(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(500, 4))
+	base := LogDegree(g, 5)
+	for _, ratio := range []float64{1, 2, 10, 100} {
+		r := base.WithRatio(ratio)
+		if !almost(r.ReadWriteRatio(), ratio) {
+			t.Fatalf("WithRatio(%v) ratio = %v", ratio, r.ReadWriteRatio())
+		}
+	}
+	// Original untouched.
+	if !almost(base.ReadWriteRatio(), 5) {
+		t.Fatal("WithRatio mutated the receiver")
+	}
+	// Relative production ordering preserved.
+	r := base.WithRatio(10)
+	for i := range base.Prod {
+		if r.Prod[i] != base.Prod[i] {
+			t.Fatal("WithRatio should not change production rates")
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	r := NewUniform(3, 5)
+	if err := r.Validate(4); err == nil {
+		t.Fatal("length mismatch not caught")
+	}
+	r.Prod[1] = math.NaN()
+	if err := r.Validate(3); err == nil {
+		t.Fatal("NaN rate not caught")
+	}
+	r.Prod[1] = -1
+	if err := r.Validate(3); err == nil {
+		t.Fatal("negative rate not caught")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	r := LogDegree(g, 5)
+	if r.N() != 0 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if err := r.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfRates(t *testing.T) {
+	r := Zipf(500, 1.5, 5, 7)
+	if r.N() != 500 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if err := r.Validate(500); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ReadWriteRatio()-5) > 1e-9 {
+		t.Fatalf("ratio = %v, want 5", r.ReadWriteRatio())
+	}
+	// Deterministic per seed.
+	r2 := Zipf(500, 1.5, 5, 7)
+	for i := range r.Prod {
+		if r.Prod[i] != r2.Prod[i] {
+			t.Fatal("same seed produced different rates")
+		}
+	}
+	// Skewed: the max producer is far above the median.
+	maxP, sum := 0.0, 0.0
+	for _, p := range r.Prod {
+		if p > maxP {
+			maxP = p
+		}
+		sum += p
+	}
+	if maxP < 5*sum/float64(len(r.Prod)) {
+		t.Fatalf("zipf rates not skewed: max %v vs mean %v", maxP, sum/float64(len(r.Prod)))
+	}
+	if Zipf(0, 1.5, 5, 1).N() != 0 {
+		t.Fatal("empty zipf rates broken")
+	}
+}

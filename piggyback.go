@@ -1,0 +1,249 @@
+// Package piggyback is a library for computing and serving social-network
+// request schedules with social piggybacking, reproducing "Piggybacking
+// on Social Networks" (Gionis, Junqueira, Leroy, Serafini, Weber,
+// PVLDB 6(6), 2013).
+//
+// A social graph edge u → v means v subscribes to u's events. A request
+// schedule assigns every edge to a push set (updates materialize into the
+// consumer's view), a pull set (queries read the producer's view), or
+// covers it by piggybacking through a common contact's view (a hub). The
+// library provides:
+//
+//   - the CHITCHAT O(ln n)-approximation (greedy set cover with a
+//     weighted densest-subgraph oracle),
+//   - the PARALLELNOSY parallel heuristic (shared-memory and MapReduce
+//     implementations),
+//   - the push-all / pull-all / hybrid (FEEDINGFRENZY) baselines,
+//   - incremental schedule maintenance under graph churn,
+//   - synthetic social-graph generators and log-degree workload models,
+//   - a prototype view-store cluster that serves event streams under any
+//     schedule and measures actual throughput, and
+//   - harnesses regenerating every figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	g := piggyback.TwitterLikeGraph(10000, 42)
+//	r := piggyback.LogDegreeRates(g, 5) // read/write ratio 5
+//	hybrid := piggyback.Hybrid(g, r)
+//	pn, _ := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
+//	fmt.Printf("improvement: %.2fx\n", hybrid.Cost(r)/pn.Cost(r))
+package piggyback
+
+import (
+	"piggyback/internal/baseline"
+	"piggyback/internal/chitchat"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/incremental"
+	"piggyback/internal/nosy"
+	"piggyback/internal/nosymr"
+	"piggyback/internal/partition"
+	"piggyback/internal/refine"
+	"piggyback/internal/sampling"
+	"piggyback/internal/store"
+	"piggyback/internal/workload"
+)
+
+// Graph is a directed social graph in CSR form; the edge u → v means v
+// subscribes to u. Build one with NewGraphBuilder or GraphFromEdges.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges before freezing them into a Graph.
+type GraphBuilder = graph.Builder
+
+// NodeID identifies a user (dense, 0-based).
+type NodeID = graph.NodeID
+
+// EdgeID identifies a directed edge (dense, 0-based).
+type EdgeID = graph.EdgeID
+
+// Edge is a directed subscription edge.
+type Edge = graph.Edge
+
+// Schedule is a request schedule: push set H, pull set L, and hub
+// coverage, with the cost model and the Theorem-1 validity check.
+type Schedule = core.Schedule
+
+// Rates holds per-user production and consumption rates.
+type Rates = workload.Rates
+
+// NewGraphBuilder returns a builder for a graph with n nodes.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// GraphFromEdges builds a graph with n nodes from an edge list.
+func GraphFromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// TwitterLikeGraph generates a synthetic social graph shaped like the
+// paper's Twitter crawl: dense, low reciprocity, heavy degree skew.
+func TwitterLikeGraph(nodes int, seed int64) *Graph {
+	return graphgen.Social(graphgen.TwitterLike(nodes, seed))
+}
+
+// FlickrLikeGraph generates a synthetic social graph shaped like the
+// paper's Flickr crawl: high reciprocity and clustering.
+func FlickrLikeGraph(nodes int, seed int64) *Graph {
+	return graphgen.Social(graphgen.FlickrLike(nodes, seed))
+}
+
+// SocialGraphConfig exposes the generator's knobs for custom shapes.
+type SocialGraphConfig = graphgen.Config
+
+// SocialGraph generates a synthetic social graph from an explicit config.
+func SocialGraph(cfg SocialGraphConfig) *Graph { return graphgen.Social(cfg) }
+
+// LogDegreeRates derives the paper's synthetic workload: production ∝
+// log followers, consumption ∝ log followees, rescaled to the given
+// read/write ratio (the paper's reference value is 5).
+func LogDegreeRates(g *Graph, readWriteRatio float64) *Rates {
+	return workload.LogDegree(g, readWriteRatio)
+}
+
+// UniformRates gives every user production 1 and consumption ratio.
+func UniformRates(n int, ratio float64) *Rates { return workload.NewUniform(n, ratio) }
+
+// ZipfRates gives Zipf-distributed per-user activity independent of graph
+// degree — a sensitivity alternative to LogDegreeRates.
+func ZipfRates(n int, s, readWriteRatio float64, seed int64) *Rates {
+	return workload.Zipf(n, s, readWriteRatio, seed)
+}
+
+// NewSchedule returns an empty schedule for g (no edge served yet).
+func NewSchedule(g *Graph) *Schedule { return core.NewSchedule(g) }
+
+// PushAll returns the all-push baseline schedule.
+func PushAll(g *Graph) *Schedule { return baseline.PushAll(g) }
+
+// PullAll returns the all-pull baseline schedule.
+func PullAll(g *Graph) *Schedule { return baseline.PullAll(g) }
+
+// Hybrid returns the FEEDINGFRENZY baseline of Silberstein et al.: each
+// edge served by the cheaper of push and pull.
+func Hybrid(g *Graph, r *Rates) *Schedule { return baseline.Hybrid(g, r) }
+
+// ChitChatConfig tunes the CHITCHAT approximation algorithm.
+type ChitChatConfig = chitchat.Config
+
+// ChitChat computes a schedule with the CHITCHAT O(ln n)-approximation.
+// It is the quality reference; use ParallelNosy for large graphs.
+func ChitChat(g *Graph, r *Rates, cfg ChitChatConfig) *Schedule {
+	return chitchat.Solve(g, r, cfg)
+}
+
+// NosyConfig tunes PARALLELNOSY.
+type NosyConfig = nosy.Config
+
+// NosyIteration reports per-iteration progress of PARALLELNOSY.
+type NosyIteration = nosy.IterationStat
+
+// ParallelNosy computes a schedule with the PARALLELNOSY parallel
+// heuristic, returning the finalized schedule and per-iteration stats.
+func ParallelNosy(g *Graph, r *Rates, cfg NosyConfig) (*Schedule, []NosyIteration) {
+	res := nosy.Solve(g, r, cfg)
+	return res.Schedule, res.Iterations
+}
+
+// ParallelNosyMapReduce runs the same heuristic as literal MapReduce jobs
+// on the in-memory engine — the paper's Hadoop formulation. It produces
+// the identical schedule as ParallelNosy.
+func ParallelNosyMapReduce(g *Graph, r *Rates, cfg NosyConfig) (*Schedule, []NosyIteration) {
+	res := nosymr.Solve(g, r, cfg)
+	return res.Schedule, res.Iterations
+}
+
+// HybridCost returns the FEEDINGFRENZY cost without materializing the
+// schedule; improvement ratios in the paper are relative to it.
+func HybridCost(g *Graph, r *Rates) float64 { return baseline.HybridCost(g, r) }
+
+// ImprovementRatio returns the predicted improvement of schedule s over
+// the hybrid baseline: HybridCost / Cost(s). Values above 1 mean s wins.
+func ImprovementRatio(s *Schedule, r *Rates) float64 {
+	return baseline.HybridCost(s.Graph(), r) / s.Cost(r)
+}
+
+// RefineResult summarizes a free-coverage refinement sweep.
+type RefineResult = refine.Result
+
+// Refine post-processes a valid schedule in place, converting direct
+// edges that are already bracketed by a push+pull hub path into free hub
+// coverage. It never increases cost. Converged ParallelNosy schedules
+// have nothing to recover; truncated runs and the hybrid baseline often
+// do.
+func Refine(s *Schedule, r *Rates) RefineResult { return refine.Run(s, r) }
+
+// Maintainer applies incremental graph updates (§3.3) to an optimized
+// schedule without re-running the optimizer.
+type Maintainer = incremental.Maintainer
+
+// NewMaintainer wraps an optimized schedule for incremental maintenance.
+func NewMaintainer(s *Schedule, r *Rates) *Maintainer { return incremental.New(s, r) }
+
+// SampleResult is a sampled subgraph with its node mapping.
+type SampleResult = sampling.Result
+
+// RandomWalkSample extracts an induced subgraph via random walk with
+// restarts until it holds at least targetEdges edges.
+func RandomWalkSample(g *Graph, targetEdges int, seed int64) SampleResult {
+	return sampling.RandomWalk(g, targetEdges, seed)
+}
+
+// BFSSample extracts an induced subgraph via breadth-first exploration.
+func BFSSample(g *Graph, targetEdges int, seed int64) SampleResult {
+	return sampling.BFS(g, targetEdges, seed)
+}
+
+// Assignment maps user views to data-store servers.
+type Assignment = partition.Assignment
+
+// HashPartition assigns views to servers by hashing user ids — the
+// prototype's placement policy.
+func HashPartition(nodes, servers int, seed int64) Assignment {
+	return partition.Hash(nodes, servers, seed)
+}
+
+// PlacementCost returns the message cost of s under placement a, with
+// same-server batching.
+func PlacementCost(s *Schedule, r *Rates, a Assignment) float64 {
+	return partition.Cost(s, r, a)
+}
+
+// NormalizedThroughput returns predicted throughput under placement,
+// normalized so one server scores 1 (Figure 7's y axis).
+func NormalizedThroughput(s *Schedule, r *Rates, a Assignment) float64 {
+	return partition.NormalizedThroughput(s, r, a)
+}
+
+// Event is the prototype's 24-byte view tuple.
+type Event = store.Event
+
+// Cluster is the prototype data-store tier: one goroutine per simulated
+// server, serving batched view updates and queries under a schedule.
+type Cluster = store.Cluster
+
+// ClusterOptions configures a prototype cluster.
+type ClusterOptions = store.Options
+
+// Client issues Algorithm-3 requests against a Cluster.
+type Client = store.Client
+
+// NewCluster starts a prototype cluster executing schedule s.
+func NewCluster(s *Schedule, opts ClusterOptions) (*Cluster, error) {
+	return store.NewCluster(s, opts)
+}
+
+// Trace is a replayable request workload for throughput measurement.
+type Trace = store.Trace
+
+// GenerateTrace samples a request trace from the workload rates.
+func GenerateTrace(r *Rates, n int, seed int64) Trace {
+	return store.GenerateTrace(r, n, seed)
+}
+
+// BenchResult is a wall-clock throughput measurement.
+type BenchResult = store.BenchResult
+
+// MeasureThroughput replays a trace against a cluster with the given
+// number of client goroutines and reports actual requests/second.
+func MeasureThroughput(c *Cluster, t Trace, clients int) BenchResult {
+	return store.MeasureThroughput(c, t, clients)
+}

@@ -1,0 +1,110 @@
+package piggyback
+
+import (
+	"testing"
+)
+
+// TestPublicAPIEndToEnd walks the README quick-start path through the
+// facade: generate, schedule, compare, validate, serve.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := TwitterLikeGraph(300, 42)
+	r := LogDegreeRates(g, 5)
+
+	hybrid := Hybrid(g, r)
+	pn, iters := ParallelNosy(g, r, NosyConfig{})
+	cc := ChitChat(g, r, ChitChatConfig{})
+
+	for name, s := range map[string]*Schedule{"hybrid": hybrid, "pn": pn, "cc": cc} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if len(iters) == 0 {
+		t.Fatal("no iterations reported")
+	}
+	if ImprovementRatio(pn, r) < 1 || ImprovementRatio(cc, r) < 1 {
+		t.Fatal("piggybacking schedules should not lose to hybrid")
+	}
+	if hc := HybridCost(g, r); hc != hybrid.Cost(r) {
+		t.Fatalf("HybridCost %v != hybrid schedule cost %v", hc, hybrid.Cost(r))
+	}
+
+	// Serve the schedule on the prototype.
+	c, err := NewCluster(pn, ClusterOptions{Servers: 8, ServiceSpins: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res := MeasureThroughput(c, GenerateTrace(r, 500, 1), 2)
+	if res.ReqPerSec <= 0 {
+		t.Fatalf("throughput: %+v", res)
+	}
+}
+
+func TestMapReduceVariantAgrees(t *testing.T) {
+	g := FlickrLikeGraph(150, 7)
+	r := LogDegreeRates(g, 5)
+	a, _ := ParallelNosy(g, r, NosyConfig{})
+	b, _ := ParallelNosyMapReduce(g, r, NosyConfig{})
+	if a.Cost(r) != b.Cost(r) {
+		t.Fatalf("implementations disagree: %v vs %v", a.Cost(r), b.Cost(r))
+	}
+}
+
+func TestIncrementalMaintenanceAPI(t *testing.T) {
+	g := TwitterLikeGraph(200, 3)
+	r := LogDegreeRates(g, 5)
+	pn, _ := ParallelNosy(g, r, NosyConfig{})
+	m := NewMaintainer(pn, r)
+	// Add a missing edge.
+	for a := NodeID(0); int(a) < g.NumNodes(); a++ {
+		if !g.HasEdge(a, (a+1)%NodeID(g.NumNodes())) && a+1 != NodeID(g.NumNodes()) {
+			if err := m.AddEdge(a, a+1); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplingAndPartitionAPI(t *testing.T) {
+	g := FlickrLikeGraph(300, 9)
+	r := LogDegreeRates(g, 5)
+	s := RandomWalkSample(g, 1000, 1)
+	if s.Graph.NumEdges() < 1000 {
+		t.Fatalf("sample too small: %d", s.Graph.NumEdges())
+	}
+	b := BFSSample(g, 1000, 1)
+	if b.Graph.NumEdges() < 1000 {
+		t.Fatalf("BFS sample too small: %d", b.Graph.NumEdges())
+	}
+	hy := Hybrid(g, r)
+	a := HashPartition(g.NumNodes(), 16, 0)
+	if PlacementCost(hy, r, a) <= 0 {
+		t.Fatal("placement cost should be positive")
+	}
+	one := HashPartition(g.NumNodes(), 1, 0)
+	if nt := NormalizedThroughput(hy, r, one); nt < 0.999 || nt > 1.001 {
+		t.Fatalf("1-server normalized throughput = %v, want 1", nt)
+	}
+}
+
+func TestBuilderAPI(t *testing.T) {
+	b := NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	r := UniformRates(3, 1)
+	s := ChitChat(g, r, ChitChatConfig{})
+	if s.Cost(r) != 2 {
+		t.Fatalf("figure-2 cost = %v, want 2 (hub)", s.Cost(r))
+	}
+	g2 := GraphFromEdges(3, []Edge{{From: 0, To: 1}})
+	if g2.NumEdges() != 1 {
+		t.Fatal("GraphFromEdges failed")
+	}
+}
