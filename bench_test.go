@@ -129,6 +129,26 @@ func BenchmarkChitChat(b *testing.B) {
 	}
 }
 
+// Worker-scaling of the parallel CHITCHAT oracle evaluation on the
+// default bench graph (the BenchmarkChitChat graph). The schedule is
+// byte-identical across worker counts (chitchat.TestWorkerCountInvariance
+// proves it); only wall clock moves. Speedup requires actual cores:
+// ~95% of solve cycles are oracle evaluations inside parallel batches,
+// but on a single-CPU machine all four variants time alike.
+func benchChitChatWorkers(b *testing.B, workers int) {
+	g := FlickrLikeGraph(400, 7)
+	r := LogDegreeRates(g, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chitchat.Solve(g, r, chitchat.Config{Workers: workers})
+	}
+}
+
+func BenchmarkChitChatWorkers1(b *testing.B) { benchChitChatWorkers(b, 1) }
+func BenchmarkChitChatWorkers2(b *testing.B) { benchChitChatWorkers(b, 2) }
+func BenchmarkChitChatWorkers4(b *testing.B) { benchChitChatWorkers(b, 4) }
+func BenchmarkChitChatWorkers8(b *testing.B) { benchChitChatWorkers(b, 8) }
+
 func BenchmarkDensestSubgraphPeel(b *testing.B) {
 	g := TwitterLikeGraph(2000, 3)
 	// Build one large hub instance: the highest-degree node.
@@ -155,7 +175,7 @@ func BenchmarkDensestSubgraphPeel(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		densest.Peel(inst)
+		densest.Peel(inst, nil)
 	}
 }
 

@@ -23,6 +23,7 @@ func main() {
 		expFlag = flag.String("exp", "all", "comma-separated: datasets,fig4,fig5,fig6,fig7,fig8,fig9a,fig9b or all")
 		scale   = flag.String("scale", "default", "scale preset: quick | default")
 		seed    = flag.Int64("seed", 0, "override scale seed (0 keeps preset)")
+		workers = flag.Int("workers", 0, "solver parallelism for CHITCHAT/PARALLELNOSY (0 = all cores)")
 		plot    = flag.Bool("plot", false, "render ASCII bar charts instead of tables")
 	)
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 	if *seed != 0 {
 		sc.Seed = *seed
 	}
+	sc.Workers = *workers
 
 	runs := map[string]func(experiments.Scale) *experiments.Table{
 		"datasets": experiments.Datasets,

@@ -1,0 +1,3 @@
+module piggyback
+
+go 1.21

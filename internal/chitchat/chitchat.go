@@ -11,16 +11,26 @@
 // an overall O(ln n) approximation (Theorem 4).
 //
 // The paper's Algorithm 1 refreshes the oracle output of every affected
-// hub after each selection; we use the standard lazy-greedy variant
-// instead: candidates are re-evaluated against the current uncovered set
-// when they reach the head of the priority queue, and committed only if
-// their refreshed ratio is still the best. The committed choice is the
-// same greedy choice up to ties; the lazy form just avoids recomputing
-// oracles whose turn never comes.
+// hub after each selection; we use a batched lazy-greedy variant instead:
+// candidates are re-evaluated against the current uncovered set when they
+// reach the head of the priority queue, and a stale head triggers a
+// speculative refresh of the top refreshBatch candidates at once. The
+// committed choice is the same greedy choice up to ties; the lazy form
+// just avoids recomputing oracles whose turn never comes.
+//
+// Oracle evaluations are independent reads of the solver state, so both
+// the initial per-hub pass and every refresh batch fan out across
+// Config.Workers goroutines. Which candidates get refreshed, and which
+// commits, is decided by queue state alone (ties break toward the lowest
+// hub id), so the schedule is byte-identical for every worker count.
 package chitchat
 
 import (
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"piggyback/internal/baseline"
 	"piggyback/internal/bitset"
@@ -41,10 +51,22 @@ type Config struct {
 	// enumeration (instances up to 24 nodes; larger hub-graphs fall back
 	// to peeling). Only sensible on tiny graphs; used by ablation benches.
 	ExactOracle bool
+	// Workers is the parallelism degree for oracle evaluation; 0 means
+	// GOMAXPROCS. The resulting schedule is identical for every worker
+	// count: workers only change who evaluates an oracle, never which
+	// candidates are refreshed or chosen.
+	Workers int
 }
 
 // DefaultMaxCrossEdges matches the bound used for the Twitter runs in §4.2.
 const DefaultMaxCrossEdges = 100000
+
+// refreshBatch is how many stale hub candidates at the head of the queue
+// are re-evaluated together when the head turns out stale. It is a fixed
+// constant, deliberately independent of Config.Workers: the refresh
+// policy decides tie-breaks and therefore the schedule, and the schedule
+// must not vary with the worker count.
+const refreshBatch = 16
 
 // Solve computes a request schedule for g under rates r. The result is
 // always valid (Theorem 1): every edge is pushed, pulled, or covered
@@ -53,6 +75,9 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 	if cfg.MaxCrossEdges == 0 {
 		cfg.MaxCrossEdges = DefaultMaxCrossEdges
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	n := g.NumNodes()
 	m := g.NumEdges()
 	s := core.NewSchedule(g)
@@ -60,105 +85,262 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 		return s
 	}
 
-	uncovered := bitset.New(m)
-	for e := 0; e < m; e++ {
-		uncovered.Set(e)
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
 	}
-	remaining := m
-	sc := &scratch{yMark: make([]int64, n), yPos: make([]int32, n)}
-
-	// Priority queue over candidate ids: 0..n-1 are hub candidates
-	// (hub-graphs centered on node w), n..n+m-1 are singleton edges.
-	q := pq.New(n + m)
+	sv := &solver{
+		g: g, r: r, cfg: cfg, s: s,
+		n:         n,
+		uncovered: bitset.New(m),
+		remaining: m,
+		q:         pq.New(n + m),
+		scs:       make([]*scratch, workers),
+		gen:       1,
+		freshGen:  make([]uint64, n),
+		freshRes:  make([]hubEval, n),
+		touched:   make(map[graph.NodeID]bool, 64),
+	}
+	for e := 0; e < m; e++ {
+		sv.uncovered.Set(e)
+	}
+	for i := range sv.scs {
+		sv.scs[i] = &scratch{yMark: make([]int64, n), yPos: make([]int32, n)}
+	}
 
 	// Singleton candidates never change ratio: c*(e) per single element.
 	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
-		q.Push(n+int(e), baseline.EdgeCost(r, u, v))
+		sv.q.Push(n+int(e), baseline.EdgeCost(r, u, v))
 		return true
 	})
 
-	// Hub candidates, initially evaluated against the full ground set.
+	// Hub candidates, initially evaluated against the full ground set —
+	// the embarrassingly parallel bulk of the solve.
+	initRes := make([]hubEval, n)
+	initOK := make([]bool, n)
+	sv.forEach(n, func(i int, sc *scratch) {
+		initRes[i], initOK[i] = evalHub(g, r, s, sv.uncovered, graph.NodeID(i), cfg, sc)
+	})
+	ids := make([]int32, 0, n)
+	prios := make([]float64, 0, n)
 	for w := 0; w < n; w++ {
-		if res, ok := evalHub(g, r, s, uncovered, graph.NodeID(w), cfg, sc); ok {
-			q.Push(w, res.ratio())
+		if initOK[w] {
+			sv.freshGen[w] = sv.gen
+			sv.freshRes[w] = initRes[w]
+			ids = append(ids, int32(w))
+			prios = append(prios, initRes[w].ratio())
 		}
 	}
+	sv.q.PushBatch(ids, prios)
 
-	// refresh re-evaluates the hub-graphs whose oracle output may have
-	// IMPROVED after schedule changes on the given edges — Algorithm 1's
-	// queue maintenance, restricted to where it matters. A hub-graph's
-	// ratio improves only when a support-edge weight drops to zero, and a
-	// changed edge (u, v) is a support edge only of the hub-graphs
-	// centered at u (as the pull w → y) or at v (as a push x → w).
-	// Hub-graphs that merely lost cross-edge elements got WORSE; their
-	// stale (too low) queue entries are corrected by the re-evaluation at
-	// pop time, which requeues them at the fresh ratio.
-	// Hubs that drop out of the queue are exhausted for good: Z only
-	// shrinks, so a hub with nothing coverable never regains value. The
-	// one exception is the hub that just committed — it was popped for
-	// processing and may still have residual coverage to offer, so it is
-	// force-re-evaluated.
-	touched := make(map[graph.NodeID]bool, 64)
-	refresh := func(edges []graph.EdgeID, committed graph.NodeID) {
-		for w := range touched {
-			delete(touched, w)
-		}
-		for _, e := range edges {
-			touched[g.EdgeSource(e)] = true
-			touched[g.EdgeTarget(e)] = true
-		}
-		if committed >= 0 {
-			touched[committed] = true
-		}
-		for w := range touched {
-			if w != committed && !q.Contains(int(w)) {
-				continue // exhausted hub; do not resurrect
-			}
-			if res, ok := evalHub(g, r, s, uncovered, w, cfg, sc); ok && res.newlyCovered > 0 {
-				q.Update(int(w), res.ratio())
-			} else {
-				q.Remove(int(w))
-			}
-		}
-	}
-
-	for remaining > 0 && q.Len() > 0 {
-		id, _ := q.PopMin()
+	for sv.remaining > 0 && sv.q.Len() > 0 {
+		id, _ := sv.q.Min()
 		if id >= n {
 			// Singleton edge: ratio never changes; skip if already covered.
+			sv.q.PopMin()
 			e := graph.EdgeID(id - n)
-			if !uncovered.Test(int(e)) {
+			if !sv.uncovered.Test(int(e)) {
 				continue
 			}
 			commitSingleton(g, r, s, e)
-			uncovered.Clear(int(e))
-			remaining--
-			refresh([]graph.EdgeID{e}, -1)
+			sv.uncovered.Clear(int(e))
+			sv.remaining--
+			sv.refresh([]graph.EdgeID{e}, -1)
 			continue
 		}
-		// Hub candidate: re-evaluate against current state. With eager
-		// refresh the stored ratio is usually fresh; the check guards the
-		// rare case where a refresh batch raced... (single-threaded: it is
-		// simply a cheap idempotent recheck).
 		w := graph.NodeID(id)
-		res, ok := evalHub(g, r, s, uncovered, w, cfg, sc)
-		if !ok || res.newlyCovered == 0 {
-			continue // hub has nothing left to offer
+		if sv.freshGen[w] == sv.gen {
+			// The head's oracle output was computed against the current
+			// uncovered set: it is the greedy choice. Commit it.
+			sv.q.PopMin()
+			changed := commitHub(g, s, sv.uncovered, &sv.remaining, w, sv.freshRes[w])
+			sv.refresh(changed, w)
+			continue
 		}
-		ratio := res.ratio()
-		if q.Len() > 0 {
-			if _, next := q.Min(); ratio > next {
-				q.Push(id, ratio)
-				continue
-			}
-		}
-		changed := commitHub(g, s, uncovered, &remaining, w, res)
-		refresh(changed, w)
+		sv.refreshHead()
 	}
 	// Defensive: schedule anything left (cannot happen — singletons cover
 	// every edge — but Finalize keeps the invariant obvious).
 	s.Finalize(r)
 	return s
+}
+
+// solver carries the shared solve state. Oracle evaluations (evalHub) are
+// pure reads of g/r/s/uncovered plus a per-worker scratch, so they run
+// concurrently; all queue and schedule mutation stays on the caller
+// goroutine.
+type solver struct {
+	g   *graph.Graph
+	r   *workload.Rates
+	cfg Config
+	s   *core.Schedule
+
+	n         int
+	uncovered *bitset.Set
+	remaining int
+	q         *pq.IndexedMin
+	scs       []*scratch // one per worker
+
+	// Freshness stamps: freshRes[w] is the oracle output of hub w, valid
+	// iff freshGen[w] == gen. gen advances on every commit, because a
+	// commit can invalidate any hub's evaluation (covered cross-edges are
+	// not confined to the committed hub's neighborhood).
+	gen      uint64
+	freshGen []uint64
+	freshRes []hubEval
+
+	touched  map[graph.NodeID]bool
+	touchIDs []graph.NodeID
+	batchIDs []graph.NodeID
+	batchRes []hubEval
+	batchOK  []bool
+	insIDs   []int32
+	insPrios []float64
+}
+
+// forEach runs fn(i, scratch) for i in [0, k), fanning out across the
+// solver's workers. Each invocation gets a worker-private scratch; fn must
+// not touch shared mutable state. Results land in caller-provided arrays
+// indexed by i, so the outcome is independent of scheduling order.
+func (sv *solver) forEach(k int, fn func(i int, sc *scratch)) {
+	nw := len(sv.scs)
+	if nw > k {
+		nw = k
+	}
+	if nw <= 1 {
+		for i := 0; i < k; i++ {
+			fn(i, sv.scs[0])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for wk := 0; wk < nw; wk++ {
+		sc := sv.scs[wk]
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				fn(i, sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// refreshHead handles a stale hub at the head of the queue. Classic lazy
+// greedy first: refresh the head alone — stale entries are lower bounds
+// (a hub only gets worse as elements it covers disappear), so if the
+// fresh ratio still does not exceed the next queued priority, the head
+// remains the greedy choice and a single oracle call decides the commit.
+// Only when the head loses its slot do we speculatively refresh the next
+// refreshBatch stale candidates in one parallel round: the head region is
+// churning, so those evaluations are likely needed next and independent.
+func (sv *solver) refreshHead() {
+	id, _ := sv.q.Min() // caller established: a hub with a stale entry
+	sv.q.PopMin()
+	w := graph.NodeID(id)
+	res, ok := evalHub(sv.g, sv.r, sv.s, sv.uncovered, w, sv.cfg, sv.scs[0])
+	if !ok || res.newlyCovered == 0 {
+		return // exhausted hub; it never regains value
+	}
+	sv.freshGen[w] = sv.gen
+	sv.freshRes[w] = res
+	ratio := res.ratio()
+	sv.q.Push(id, ratio)
+	if sv.q.Len() == 1 {
+		return // sole candidate; the main loop commits it
+	}
+	if head, _ := sv.q.Min(); head == id {
+		return // still the minimum; the main loop commits it
+	}
+	batch := sv.batchIDs[:0]
+	for len(batch) < refreshBatch && sv.q.Len() > 0 {
+		nid, _ := sv.q.Min()
+		if nid >= sv.n || sv.freshGen[nid] == sv.gen {
+			break // fresh hub or singleton: the main loop handles it
+		}
+		sv.q.PopMin()
+		batch = append(batch, graph.NodeID(nid))
+	}
+	sv.batchIDs = batch
+	sv.evalBatch(batch)
+}
+
+// refresh re-evaluates the hub-graphs whose oracle output may have
+// IMPROVED after schedule changes on the given edges — Algorithm 1's
+// queue maintenance, restricted to where it matters. A hub-graph's
+// ratio improves only when a support-edge weight drops to zero, and a
+// changed edge (u, v) is a support edge only of the hub-graphs
+// centered at u (as the pull w → y) or at v (as a push x → w).
+// Hub-graphs that merely lost cross-edge elements got WORSE; their
+// stale (too low) queue entries are corrected by refreshHead when they
+// reach the head. Hubs that drop out of the queue are exhausted for
+// good: Z only shrinks, so a hub with nothing coverable never regains
+// value. The one exception is the hub that just committed — it was
+// popped for processing and may still have residual coverage to offer,
+// so it is force-re-evaluated.
+func (sv *solver) refresh(edges []graph.EdgeID, committed graph.NodeID) {
+	sv.gen++
+	for w := range sv.touched {
+		delete(sv.touched, w)
+	}
+	for _, e := range edges {
+		sv.touched[sv.g.EdgeSource(e)] = true
+		sv.touched[sv.g.EdgeTarget(e)] = true
+	}
+	if committed >= 0 {
+		sv.touched[committed] = true
+	}
+	batch := sv.touchIDs[:0]
+	for w := range sv.touched {
+		if w != committed && !sv.q.Contains(int(w)) {
+			continue // exhausted hub; do not resurrect
+		}
+		batch = append(batch, w)
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
+	sv.touchIDs = batch
+	for _, w := range batch {
+		sv.q.Remove(int(w)) // no-op for the just-committed hub
+	}
+	sv.evalBatch(batch)
+}
+
+// evalBatch evaluates the given hubs (already removed from the queue)
+// concurrently, then re-inserts those that still cover something, marking
+// them fresh for the current generation. Hubs with nothing left stay out
+// of the queue for good — the exhaustion rule documented on refresh.
+func (sv *solver) evalBatch(batch []graph.NodeID) {
+	if len(batch) == 0 {
+		return
+	}
+	if cap(sv.batchRes) < len(batch) {
+		sv.batchRes = make([]hubEval, len(batch))
+		sv.batchOK = make([]bool, len(batch))
+	}
+	res := sv.batchRes[:len(batch)]
+	ok := sv.batchOK[:len(batch)]
+	sv.forEach(len(batch), func(i int, sc *scratch) {
+		res[i], ok[i] = evalHub(sv.g, sv.r, sv.s, sv.uncovered, batch[i], sv.cfg, sc)
+	})
+	ids := sv.insIDs[:0]
+	prios := sv.insPrios[:0]
+	for i, w := range batch {
+		if ok[i] && res[i].newlyCovered > 0 {
+			sv.freshGen[w] = sv.gen
+			sv.freshRes[w] = res[i]
+			ids = append(ids, int32(w))
+			prios = append(prios, res[i].ratio())
+		}
+	}
+	sv.q.PushBatch(ids, prios)
+	sv.insIDs = ids
+	sv.insPrios = prios
 }
 
 // hubEval is the oracle output for one hub: the chosen X/Y sides and how
@@ -181,7 +363,9 @@ func (h hubEval) ratio() float64 {
 // hub-graph centered on w — X = producers of w, Y = consumers of w — and
 // runs the oracle. Elements (numerator edges) are restricted to the
 // uncovered set Z; node weights are zeroed for support edges already in
-// H or L, per Algorithm 1's weight update rule.
+// H or L, per Algorithm 1's weight update rule. It only reads the shared
+// state and only writes sc, so concurrent calls with distinct scratches
+// are safe.
 func evalHub(g *graph.Graph, r *workload.Rates, s *core.Schedule,
 	uncovered *bitset.Set, w graph.NodeID, cfg Config, sc *scratch) (hubEval, bool) {
 
@@ -197,10 +381,15 @@ func evalHub(g *graph.Graph, r *workload.Rates, s *core.Schedule,
 	// side, last vertex = hub.
 	nx, ny := len(xs), len(ys)
 	hub := int32(nx + ny)
+	if cap(sc.weight) < nx+ny+1 {
+		sc.weight = make([]float64, nx+ny+1)
+	}
 	inst := densest.Instance{
 		N:      nx + ny + 1,
-		Weight: make([]float64, nx+ny+1),
+		Weight: sc.weight[:nx+ny+1],
+		Edges:  sc.edges[:0],
 	}
+	inst.Weight[hub] = 0 // the buffer is reused; every other slot is set below
 	for i, x := range xs {
 		if s.IsPush(xIDs[i]) {
 			inst.Weight[i] = 0 // push already paid
@@ -247,15 +436,16 @@ func evalHub(g *graph.Graph, r *workload.Rates, s *core.Schedule,
 			}
 		}
 	}
+	sc.edges = inst.Edges // keep any growth for the next evaluation
 	if len(inst.Edges) == 0 {
 		return hubEval{}, false
 	}
 
 	var res densest.Result
 	if cfg.ExactOracle && inst.N <= 24 {
-		res = densest.Exact(inst)
+		res = densest.Exact(inst, &sc.dsc)
 	} else {
-		res = densest.Peel(inst)
+		res = densest.Peel(inst, &sc.dsc)
 	}
 	if res.EdgeCnt == 0 {
 		return hubEval{}, false
@@ -348,11 +538,16 @@ func commitSingleton(g *graph.Graph, r *workload.Rates, s *core.Schedule, e grap
 	}
 }
 
-// scratch holds per-solve reusable buffers: yMark/yPos form a
+// scratch holds per-worker reusable buffers: yMark/yPos form a
 // generation-stamped index from node id to the hub instance's Y-side
-// vertex, replacing a per-evalHub map that dominated profiles.
+// vertex (a per-evalHub map dominated profiles); weight/edges back the
+// densest instance and dsc is the peel arena, so a steady-state oracle
+// evaluation allocates only its small result slices.
 type scratch struct {
-	yMark []int64
-	yPos  []int32
-	gen   int64
+	yMark  []int64
+	yPos   []int32
+	gen    int64
+	weight []float64
+	edges  [][2]int32
+	dsc    densest.Scratch
 }

@@ -11,6 +11,16 @@ import (
 	"piggyback/internal/workload"
 )
 
+// scaled picks the graph size: full-size runs take minutes under -race,
+// so -short (CI, pre-commit) uses smaller graphs that keep every
+// qualitative property (hub coverage, hybrid dominance, determinism).
+func scaled(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
 // figure2 builds the paper's running example: Art(0) → Charlie(1) →
 // Billie(2), plus the cross edge Art → Billie coverable through Charlie.
 func figure2() *graph.Graph {
@@ -38,7 +48,7 @@ func TestFigure2UsesHub(t *testing.T) {
 }
 
 func TestNeverWorseThanHybrid(t *testing.T) {
-	g := graphgen.Social(graphgen.TwitterLike(400, 3))
+	g := graphgen.Social(graphgen.TwitterLike(scaled(400, 200), 3))
 	r := workload.LogDegree(g, 5)
 	s := Solve(g, r, Config{})
 	if err := s.Validate(); err != nil {
@@ -53,7 +63,7 @@ func TestNeverWorseThanHybrid(t *testing.T) {
 func TestBeatsHybridOnClusteredGraph(t *testing.T) {
 	// On a clustered social graph with the reference read/write ratio,
 	// piggybacking must yield a real improvement.
-	g := graphgen.Social(graphgen.FlickrLike(600, 7))
+	g := graphgen.Social(graphgen.FlickrLike(scaled(600, 300), 7))
 	r := workload.LogDegree(g, 5)
 	s := Solve(g, r, Config{})
 	hy := baseline.HybridCost(g, r)
@@ -80,7 +90,7 @@ func TestEmptyAndTinyGraphs(t *testing.T) {
 }
 
 func TestDeterministic(t *testing.T) {
-	g := graphgen.Social(graphgen.TwitterLike(300, 11))
+	g := graphgen.Social(graphgen.TwitterLike(scaled(300, 200), 11))
 	r := workload.LogDegree(g, 5)
 	a := Solve(g, r, Config{})
 	b := Solve(g, r, Config{})
@@ -96,8 +106,52 @@ func TestDeterministic(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvariance proves the parallel solver equivalent to the
+// sequential one: for every worker count the schedule must be
+// byte-identical — same cost, same per-edge push/pull/cover assignment,
+// same hub choices — on both generator presets. Worker count only moves
+// oracle evaluations between goroutines; the refresh and commit policy
+// (ties toward the lowest hub id) is fixed.
+func TestWorkerCountInvariance(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"twitter", graphgen.Social(graphgen.TwitterLike(scaled(300, 150), 13))},
+		{"flickr", graphgen.Social(graphgen.FlickrLike(scaled(300, 150), 7))},
+	}
+	for _, tc := range graphs {
+		t.Run(tc.name, func(t *testing.T) {
+			r := workload.LogDegree(tc.g, 5)
+			ref := Solve(tc.g, r, Config{Workers: 1})
+			if err := ref.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				got := Solve(tc.g, r, Config{Workers: workers})
+				if got.Cost(r) != ref.Cost(r) {
+					t.Fatalf("workers=%d cost %v differs from sequential %v",
+						workers, got.Cost(r), ref.Cost(r))
+				}
+				for e := 0; e < tc.g.NumEdges(); e++ {
+					ee := graph.EdgeID(e)
+					if got.IsPush(ee) != ref.IsPush(ee) ||
+						got.IsPull(ee) != ref.IsPull(ee) ||
+						got.IsCovered(ee) != ref.IsCovered(ee) {
+						t.Fatalf("workers=%d schedule differs at edge %d", workers, e)
+					}
+					if ref.IsCovered(ee) && got.Hub(ee) != ref.Hub(ee) {
+						t.Fatalf("workers=%d hub differs at edge %d: %d vs %d",
+							workers, e, got.Hub(ee), ref.Hub(ee))
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestCrossEdgeBound(t *testing.T) {
-	g := graphgen.Social(graphgen.TwitterLike(300, 5))
+	g := graphgen.Social(graphgen.TwitterLike(scaled(300, 200), 5))
 	r := workload.LogDegree(g, 5)
 	// A tiny bound must still produce a valid schedule, just a worse one.
 	tight := Solve(g, r, Config{MaxCrossEdges: 2})
@@ -127,7 +181,7 @@ func TestHighReadWriteRatioApproachesHybrid(t *testing.T) {
 	// With consumption 100× production, pushes are nearly free and the
 	// hybrid schedule (all push) is near optimal; CHITCHAT's gain should
 	// shrink relative to the reference ratio (Fig. 9's right side).
-	g := graphgen.Social(graphgen.FlickrLike(400, 9))
+	g := graphgen.Social(graphgen.FlickrLike(scaled(400, 250), 9))
 	rLow := workload.LogDegree(g, 5)
 	rHigh := workload.LogDegree(g, 100)
 	gainLow := baseline.HybridCost(g, rLow) / Solve(g, rLow, Config{}).Cost(rLow)

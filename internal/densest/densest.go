@@ -64,27 +64,82 @@ func (r Result) Denser(o Result) bool {
 
 func inf() float64 { return math.Inf(1) }
 
+// Scratch is a reusable per-worker arena for Peel and Exact: the peel
+// ordering, degree and adjacency arrays, and the priority queue. A nil
+// Scratch makes every call allocate fresh; callers in hot loops (each
+// CHITCHAT oracle evaluation runs one Peel) hold one Scratch per worker
+// goroutine and amortize all of it. The zero value is ready to use. A
+// Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	deg   []int32
+	off   []int32 // CSR adjacency offsets, len N+1
+	cur   []int32
+	adj   []int32 // incident edge indices, len 2|E|
+	alive []bool
+	edges []bool // edgeAlive
+	order []int32
+	prios []float64
+	q     pq.IndexedMin
+}
+
+// grow returns a length-n slice backed by b's storage when it is large
+// enough, allocating otherwise; contents are unspecified.
+func grow[T any](b []T, n int) []T {
+	if cap(b) < n {
+		return make([]T, n)
+	}
+	return b[:n]
+}
+
 // Peel runs the weighted peeling algorithm and returns the densest
-// intermediate subgraph encountered. O((n + m) log n).
-func Peel(inst Instance) Result {
+// intermediate subgraph encountered. O((n + m) log n). sc may be nil;
+// passing a reused Scratch makes the call allocation-free except for the
+// returned member list (which never aliases the scratch).
+func Peel(inst Instance, sc *Scratch) Result {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	n := inst.N
 	if n == 0 {
 		return Result{}
 	}
-	deg := make([]int, n)
-	adj := make([][]int32, n) // adjacency by edge index
-	for ei, e := range inst.Edges {
-		a, b := e[0], e[1]
-		deg[a]++
-		deg[b]++
-		adj[a] = append(adj[a], int32(ei))
-		adj[b] = append(adj[b], int32(ei))
+	m := len(inst.Edges)
+
+	deg := grow(sc.deg, n)
+	sc.deg = deg
+	for i := range deg {
+		deg[i] = 0
 	}
-	alive := make([]bool, n)
+	for _, e := range inst.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	// CSR adjacency: incident edge indices of u are adj[off[u]:off[u+1]].
+	off := grow(sc.off, n+1)
+	sc.off = off
+	off[0] = 0
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + deg[u]
+	}
+	adj := grow(sc.adj, 2*m)
+	sc.adj = adj
+	cur := grow(sc.cur, n)
+	sc.cur = cur
+	copy(cur, off[:n])
+	for ei, e := range inst.Edges {
+		adj[cur[e[0]]] = int32(ei)
+		cur[e[0]]++
+		adj[cur[e[1]]] = int32(ei)
+		cur[e[1]]++
+	}
+
+	alive := grow(sc.alive, n)
+	sc.alive = alive
 	for i := range alive {
 		alive[i] = true
 	}
-	edgeAlive := make([]bool, len(inst.Edges))
+	edgeAlive := grow(sc.edges, m)
+	sc.edges = edgeAlive
 	for i := range edgeAlive {
 		edgeAlive[i] = true
 	}
@@ -92,29 +147,30 @@ func Peel(inst Instance) Result {
 	prio := func(u int) float64 {
 		w := inst.Weight[u]
 		if w == 0 {
-			if deg[u] == 0 {
-				return inf() // dead weightless node: remove whenever
-			}
+			// Weightless nodes (cost already paid) are peeled last.
 			return inf()
 		}
 		return float64(deg[u]) / w
 	}
 
-	q := pq.New(n)
+	prios := grow(sc.prios, n)
+	sc.prios = prios
 	curWeight := 0.0
 	alivePositive := 0 // alive nodes with weight > 0
 	for u := 0; u < n; u++ {
-		q.Push(u, prio(u))
+		prios[u] = prio(u)
 		curWeight += inst.Weight[u]
 		if inst.Weight[u] > 0 {
 			alivePositive++
 		}
 	}
-	curEdges := len(inst.Edges)
+	q := &sc.q
+	q.Init(prios)
+	curEdges := m
 
 	best := Result{EdgeCnt: curEdges, Weight: curWeight}
 	bestStep := 0 // number of removals before the best snapshot
-	removalOrder := make([]int32, 0, n)
+	removalOrder := grow(sc.order, n)[:0]
 
 	for step := 1; q.Len() > 0; step++ {
 		u, _ := q.PopMin()
@@ -130,7 +186,7 @@ func Peel(inst Instance) Result {
 		if alivePositive == 0 || curWeight < 0 {
 			curWeight = 0
 		}
-		for _, ei := range adj[u] {
+		for _, ei := range adj[off[u]:off[u+1]] {
 			if !edgeAlive[ei] {
 				continue
 			}
@@ -151,14 +207,17 @@ func Peel(inst Instance) Result {
 			bestStep = step
 		}
 	}
+	sc.order = removalOrder
 
 	// Reconstruct members: nodes not among the first bestStep removals.
-	removed := make([]bool, n)
+	// After the full peel every alive[] entry is false; reuse it as the
+	// "removed before the best snapshot" marker.
 	for i := 0; i < bestStep; i++ {
-		removed[removalOrder[i]] = true
+		alive[removalOrder[i]] = true
 	}
+	best.Members = make([]int32, 0, n-bestStep)
 	for u := 0; u < n; u++ {
-		if !removed[u] {
+		if !alive[u] {
 			best.Members = append(best.Members, int32(u))
 		}
 	}
@@ -173,7 +232,10 @@ func Peel(inst Instance) Result {
 
 // Exact solves the problem by subset enumeration; only usable for small
 // instances (N <= 24). Used by tests to verify the 2-approximation bound.
-func Exact(inst Instance) Result {
+// sc is accepted for call-site symmetry with Peel (the oracle switches
+// between them); Exact's only allocation is the returned member list.
+func Exact(inst Instance, sc *Scratch) Result {
+	_ = sc
 	n := inst.N
 	if n == 0 || n > 24 {
 		if n > 24 {
@@ -182,6 +244,7 @@ func Exact(inst Instance) Result {
 		return Result{}
 	}
 	var best Result
+	bestMask := 0
 	for mask := 1; mask < 1<<uint(n); mask++ {
 		var r Result
 		for u := 0; u < n; u++ {
@@ -196,12 +259,12 @@ func Exact(inst Instance) Result {
 		}
 		if r.Denser(best) {
 			best = r
-			best.Members = best.Members[:0]
-			for u := 0; u < n; u++ {
-				if mask&(1<<uint(u)) != 0 {
-					best.Members = append(best.Members, int32(u))
-				}
-			}
+			bestMask = mask
+		}
+	}
+	for u := 0; u < n; u++ {
+		if bestMask&(1<<uint(u)) != 0 {
+			best.Members = append(best.Members, int32(u))
 		}
 	}
 	return best

@@ -16,7 +16,7 @@ func unitWeights(n int) []float64 {
 }
 
 func TestEmptyInstance(t *testing.T) {
-	r := Peel(Instance{})
+	r := Peel(Instance{}, nil)
 	if r.EdgeCnt != 0 || r.Density() != 0 {
 		t.Fatalf("empty instance: %+v", r)
 	}
@@ -24,7 +24,7 @@ func TestEmptyInstance(t *testing.T) {
 
 func TestSingleEdge(t *testing.T) {
 	inst := Instance{N: 2, Edges: [][2]int32{{0, 1}}, Weight: unitWeights(2)}
-	r := Peel(inst)
+	r := Peel(inst, nil)
 	if r.EdgeCnt != 1 || r.Weight != 2 {
 		t.Fatalf("single edge: %+v", r)
 	}
@@ -38,7 +38,7 @@ func TestCliquePlusPendant(t *testing.T) {
 	// density if included (7/5=1.4). Peel should return the clique.
 	edges := [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}}
 	inst := Instance{N: 5, Edges: edges, Weight: unitWeights(5)}
-	r := Peel(inst)
+	r := Peel(inst, nil)
 	if len(r.Members) != 4 || r.EdgeCnt != 6 {
 		t.Fatalf("expected 4-clique, got %+v", r)
 	}
@@ -56,7 +56,7 @@ func TestWeightsSteerSelection(t *testing.T) {
 		Edges:  [][2]int32{{0, 1}, {2, 3}},
 		Weight: []float64{1, 1, 100, 100},
 	}
-	r := Peel(inst)
+	r := Peel(inst, nil)
 	// Densest subset = {0,1}: density 1/2 vs 1/200 (or 2/202 combined).
 	if len(r.Members) != 2 || r.Members[0] != 0 || r.Members[1] != 1 {
 		t.Fatalf("expected cheap pair, got %+v", r)
@@ -70,7 +70,7 @@ func TestZeroWeightFreeCoverage(t *testing.T) {
 		Edges:  [][2]int32{{0, 1}, {1, 2}},
 		Weight: []float64{0, 0, 5},
 	}
-	r := Peel(inst)
+	r := Peel(inst, nil)
 	if !math.IsInf(r.Density(), 1) {
 		t.Fatalf("density = %v, want +Inf", r.Density())
 	}
@@ -106,7 +106,7 @@ func TestExactSmall(t *testing.T) {
 		Edges:  [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}},
 		Weight: []float64{1, 1, 1, 3, 3},
 	}
-	r := Exact(inst)
+	r := Exact(inst, nil)
 	if r.EdgeCnt != 3 || r.Weight != 3 || len(r.Members) != 3 {
 		t.Fatalf("Exact: %+v", r)
 	}
@@ -118,7 +118,7 @@ func TestExactPanicsOnLarge(t *testing.T) {
 			t.Fatal("Exact on large instance should panic")
 		}
 	}()
-	Exact(Instance{N: 30, Weight: make([]float64, 30)})
+	Exact(Instance{N: 30, Weight: make([]float64, 30)}, nil)
 }
 
 // Property (Lemma 1): Peel achieves at least half the optimal density on
@@ -143,8 +143,8 @@ func TestQuickTwoApproximation(t *testing.T) {
 			}
 		}
 		inst := Instance{N: n, Edges: edges, Weight: w}
-		opt := Exact(inst)
-		got := Peel(inst)
+		opt := Exact(inst, nil)
+		got := Peel(inst, nil)
 		// got.Density() * 2 >= opt.Density(), compared without division:
 		// 2*gotE*optW >= optE*gotW
 		lhs := 2 * float64(got.EdgeCnt) * opt.Weight
@@ -180,7 +180,7 @@ func TestQuickResultConsistent(t *testing.T) {
 			w[i] = rng.Float64() * 3
 		}
 		inst := Instance{N: n, Edges: edges, Weight: w}
-		r := Peel(inst)
+		r := Peel(inst, nil)
 		in := make(map[int32]bool, len(r.Members))
 		for _, u := range r.Members {
 			in[u] = true
@@ -199,5 +199,43 @@ func TestQuickResultConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A reused Scratch must never leak state between calls: interleave
+// instances of different shapes through one arena and compare each result
+// against a scratch-free call.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sc Scratch
+	for round := 0; round < 50; round++ {
+		n := 1 + rng.Intn(30)
+		var edges [][2]int32
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int32{int32(a), int32(b)})
+			}
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() * 3
+			if rng.Float64() < 0.2 {
+				w[i] = 0
+			}
+		}
+		inst := Instance{N: n, Edges: edges, Weight: w}
+		got := Peel(inst, &sc)
+		want := Peel(inst, nil)
+		if got.EdgeCnt != want.EdgeCnt || got.Weight != want.Weight ||
+			len(got.Members) != len(want.Members) {
+			t.Fatalf("round %d: scratch %+v != fresh %+v", round, got, want)
+		}
+		for i := range got.Members {
+			if got.Members[i] != want.Members[i] {
+				t.Fatalf("round %d: members differ at %d", round, i)
+			}
+		}
 	}
 }

@@ -72,6 +72,7 @@ type Scale struct {
 	SampleCount       int // samples averaged per point (paper: 5)
 	PrototypeRequests int // requests per Fig. 6 measurement point
 	PrototypeClients  int // client goroutines for Fig. 6
+	Workers           int // solver parallelism (CHITCHAT and PARALLELNOSY); 0 = all cores
 	Seed              int64
 }
 

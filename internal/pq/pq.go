@@ -63,6 +63,72 @@ func (q *IndexedMin) Update(id int, p float64) {
 	}
 }
 
+// Reset empties the queue and re-sizes it to hold item ids 0..n-1,
+// reusing the underlying storage when capacity allows. The zero value of
+// IndexedMin is usable after Reset, which lets callers embed a queue in a
+// reusable scratch arena.
+func (q *IndexedMin) Reset(n int) {
+	if cap(q.pos) < n {
+		q.pos = make([]int32, n)
+		q.prio = make([]float64, n)
+	}
+	q.pos = q.pos[:n]
+	q.prio = q.prio[:n]
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	q.heap = q.heap[:0]
+}
+
+// Init resets the queue to hold exactly the ids 0..len(prios)-1 with the
+// given priorities, building the heap by bottom-up heapify — O(n) versus
+// O(n log n) for n individual Pushes. It is the bulk-build counterpart of
+// PushBatch, used by the densest-subgraph peeling loop.
+func (q *IndexedMin) Init(prios []float64) {
+	n := len(prios)
+	q.Reset(n)
+	copy(q.prio, prios)
+	q.heap = q.heap[:0]
+	for i := 0; i < n; i++ {
+		q.heap = append(q.heap, int32(i))
+		q.pos[i] = int32(i)
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+// PushBatch inserts ids[i] with priority prios[i] for every i — the bulk
+// re-insert used by CHITCHAT's batched lazy-greedy refresh. Panics if any
+// id is already queued. When the batch is large relative to the current
+// heap it restores the heap property by a single bottom-up heapify;
+// otherwise it sifts each new item up individually. Either way the queue
+// holds the same (id, priority) set, and because the ordering is total
+// (priority, then id) the observable PopMin sequence is identical.
+func (q *IndexedMin) PushBatch(ids []int32, prios []float64) {
+	if len(ids) != len(prios) {
+		panic("pq: PushBatch length mismatch")
+	}
+	for i, id := range ids {
+		if q.pos[id] >= 0 {
+			panic("pq: PushBatch of queued id")
+		}
+		q.prio[id] = prios[i]
+		q.pos[id] = int32(len(q.heap))
+		q.heap = append(q.heap, id)
+	}
+	n := len(q.heap)
+	if k := len(ids); k > 0 && k >= n/4 {
+		for i := n/2 - 1; i >= 0; i-- {
+			q.down(i)
+		}
+		return
+	}
+	for _, id := range ids {
+		q.up(int(q.pos[id]))
+	}
+}
+
 // Min returns the id and priority of the minimum element without removing
 // it. Panics if empty.
 func (q *IndexedMin) Min() (id int, p float64) {

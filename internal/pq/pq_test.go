@@ -130,3 +130,91 @@ func TestQuickHeapOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInitMatchesPushes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prios := make([]float64, 200)
+	for i := range prios {
+		prios[i] = rng.Float64() * 10
+	}
+	a := New(len(prios))
+	for id, p := range prios {
+		a.Push(id, p)
+	}
+	var b IndexedMin // zero value + Init must work (scratch-arena reuse)
+	b.Init(prios)
+	for a.Len() > 0 {
+		ida, pa := a.PopMin()
+		idb, pb := b.PopMin()
+		if ida != idb || pa != pb {
+			t.Fatalf("Init pop (%d,%v) != Push pop (%d,%v)", idb, pb, ida, pa)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Init queue drained to Len %d", b.Len())
+	}
+}
+
+func TestResetReuses(t *testing.T) {
+	var q IndexedMin
+	for round := 0; round < 3; round++ {
+		n := 5 + round*10
+		q.Reset(n)
+		if q.Len() != 0 {
+			t.Fatalf("Reset left Len %d", q.Len())
+		}
+		for id := 0; id < n; id++ {
+			if q.Contains(id) {
+				t.Fatalf("round %d: id %d queued after Reset", round, id)
+			}
+			q.Push(id, float64(n-id))
+		}
+		if id, p := q.Min(); id != n-1 || p != 1 {
+			t.Fatalf("round %d: Min = (%d,%v)", round, id, p)
+		}
+	}
+}
+
+// PushBatch must yield the same queue as individual Pushes, both in the
+// sift-up regime (small batch into a large heap) and the heapify regime
+// (large batch into a small heap).
+func TestPushBatchMatchesPushes(t *testing.T) {
+	for _, tc := range []struct{ preload, batch int }{{100, 3}, {3, 100}, {0, 50}, {10, 10}} {
+		rng := rand.New(rand.NewSource(int64(tc.preload*1000 + tc.batch)))
+		n := tc.preload + tc.batch
+		a, b := New(n), New(n)
+		for id := 0; id < tc.preload; id++ {
+			p := rng.Float64()
+			a.Push(id, p)
+			b.Push(id, p)
+		}
+		ids := make([]int32, 0, tc.batch)
+		prios := make([]float64, 0, tc.batch)
+		for id := tc.preload; id < n; id++ {
+			p := rng.Float64()
+			a.Push(id, p)
+			ids = append(ids, int32(id))
+			prios = append(prios, p)
+		}
+		b.PushBatch(ids, prios)
+		for a.Len() > 0 {
+			ida, pa := a.PopMin()
+			idb, pb := b.PopMin()
+			if ida != idb || pa != pb {
+				t.Fatalf("preload=%d batch=%d: batch pop (%d,%v) != push pop (%d,%v)",
+					tc.preload, tc.batch, idb, pb, ida, pa)
+			}
+		}
+	}
+}
+
+func TestPushBatchPanicsOnQueuedID(t *testing.T) {
+	q := New(4)
+	q.Push(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PushBatch of queued id should panic")
+		}
+	}()
+	q.PushBatch([]int32{2}, []float64{5})
+}

@@ -125,7 +125,10 @@ func Hybrid(g *Graph, r *Rates) *Schedule { return baseline.Hybrid(g, r) }
 type ChitChatConfig = chitchat.Config
 
 // ChitChat computes a schedule with the CHITCHAT O(ln n)-approximation.
-// It is the quality reference; use ParallelNosy for large graphs.
+// It is the quality reference; use ParallelNosy for very large graphs.
+// The densest-subgraph oracle evaluations fan out across
+// ChitChatConfig.Workers goroutines (default: all cores) and the
+// schedule is byte-identical for every worker count.
 func ChitChat(g *Graph, r *Rates, cfg ChitChatConfig) *Schedule {
 	return chitchat.Solve(g, r, cfg)
 }
