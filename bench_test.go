@@ -179,6 +179,44 @@ func BenchmarkDensestSubgraphPeel(b *testing.B) {
 	}
 }
 
+// Decremental oracle vs fresh Peel on the same large hub instance, after
+// a burst of element removals: the fresh path pays the full instance
+// (re)build per solve, the decremental path only re-peels the live
+// sub-instance over the materialized CSR.
+func BenchmarkDensestDecrementalResolve(b *testing.B) {
+	g := TwitterLikeGraph(2000, 3)
+	var hub NodeID
+	best := -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.InDegree(NodeID(u)) + g.OutDegree(NodeID(u)); d > best {
+			best, hub = d, NodeID(u)
+		}
+	}
+	r := LogDegreeRates(g, 5)
+	xs := g.InNeighbors(hub)
+	ys := g.OutNeighbors(hub)
+	inst := densest.Instance{N: len(xs) + len(ys) + 1}
+	inst.Weight = make([]float64, inst.N)
+	hv := int32(len(xs) + len(ys))
+	for i, x := range xs {
+		inst.Weight[i] = r.Prod[x]
+		inst.Edges = append(inst.Edges, [2]int32{int32(i), hv})
+	}
+	for j, y := range ys {
+		inst.Weight[len(xs)+j] = r.Cons[y]
+		inst.Edges = append(inst.Edges, [2]int32{hv, int32(len(xs) + j)})
+	}
+	d := densest.NewDecremental(inst)
+	for ei := 0; ei < d.NumEdges(); ei += 3 {
+		d.RemoveEdge(ei)
+	}
+	var sc densest.Scratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Solve(&sc)
+	}
+}
+
 func BenchmarkGraphGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		TwitterLikeGraph(2000, int64(i))

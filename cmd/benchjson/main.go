@@ -1,0 +1,69 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// small JSON document, so CI can track the solver perf trajectory as a
+// per-PR artifact (BENCH_chitchat.json). Only standard-library parsing —
+// no benchstat dependency.
+//
+//	go test -run '^$' -bench 'BenchmarkChitChatWorkers' -benchtime 1x . \
+//	    | go run ./cmd/benchjson > BENCH_chitchat.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// benchLine matches e.g. "BenchmarkChitChatWorkers1-4   2   194170926 ns/op".
+// The -N GOMAXPROCS suffix is folded into the bare benchmark name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+type entry struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	SecPerOp   float64 `json:"sec_per_op"`
+}
+
+type report struct {
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	rep := report{Benchmarks: map[string]entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) > 5 && line[:4] == "cpu:" {
+			rep.CPU = line[5:]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err1 := strconv.ParseInt(m[2], 10, 64)
+		ns, err2 := strconv.ParseFloat(m[3], 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		rep.Benchmarks[m[1]] = entry{Iterations: iters, NsPerOp: ns, SecPerOp: ns / 1e9}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

@@ -37,6 +37,17 @@ func (s *Set) Test(i int) bool {
 	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
+// SetAll sets every bit 0..Len()-1, leaving the spare bits of the last
+// word clear so Count stays exact.
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := uint(s.n) & 63; rem != 0 {
+		s.words[len(s.words)-1] = (1 << rem) - 1
+	}
+}
+
 // Count returns the number of set bits.
 func (s *Set) Count() int {
 	c := 0

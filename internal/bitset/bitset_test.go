@@ -11,6 +11,30 @@ func TestEmpty(t *testing.T) {
 	if s.Count() != 0 || s.Len() != 0 {
 		t.Fatalf("empty set: count=%d len=%d", s.Count(), s.Len())
 	}
+	s.SetAll() // no-op on the empty set, must not touch missing words
+	if s.Count() != 0 {
+		t.Fatalf("SetAll on empty set: count=%d", s.Count())
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 128, 1000} {
+		s := New(n)
+		s.Set(0) // pre-existing bits must not confuse the fill
+		s.SetAll()
+		if s.Count() != n {
+			t.Fatalf("n=%d: SetAll count=%d", n, s.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !s.Test(i) {
+				t.Fatalf("n=%d: bit %d clear after SetAll", n, i)
+			}
+		}
+		s.Clear(n - 1)
+		if s.Count() != n-1 {
+			t.Fatalf("n=%d: count=%d after one Clear", n, s.Count())
+		}
+	}
 }
 
 func TestSetTestClear(t *testing.T) {

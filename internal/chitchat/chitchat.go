@@ -10,13 +10,29 @@
 // weighted densest-subgraph oracle of package densest (Lemma 1), giving
 // an overall O(ln n) approximation (Theorem 4).
 //
+// The oracle is incremental: every hub-graph instance is materialized
+// once (CSR adjacency + weights, capped at Config.MaxCrossEdges
+// cross-edges) into a densest.Decremental, and a greedy commit only
+// removes the covered elements from the instances that actually contain
+// them (via an inverted edge → (hub, element) index) and zeroes the
+// support weights it paid. Re-evaluating a hub is then a re-peel of its
+// live sub-instance — no instance rebuild, no graph adjacency scans — and
+// a hub untouched by a commit keeps its oracle output with no work at
+// all. Because coverage is committed from the same materialized elements
+// the oracle counted, the claimed newlyCovered always equals the coverage
+// the commit performs, including when MaxCrossEdges truncates the
+// instance.
+//
 // The paper's Algorithm 1 refreshes the oracle output of every affected
 // hub after each selection; we use a batched lazy-greedy variant instead:
-// candidates are re-evaluated against the current uncovered set when they
-// reach the head of the priority queue, and a stale head triggers a
-// speculative refresh of the top refreshBatch candidates at once. The
-// committed choice is the same greedy choice up to ties; the lazy form
-// just avoids recomputing oracles whose turn never comes.
+// a commit eagerly re-evaluates only the hubs whose ratio may have
+// IMPROVED (support weights zeroed — the committed hub itself, or the
+// hub paid for by a singleton), while hubs that merely lost elements got
+// worse and keep their stale, too-low queue entries until they reach the
+// head. A stale head triggers a speculative refresh of the top
+// refreshBatch candidates at once. The committed choice is the same
+// greedy choice up to ties; the lazy form just avoids recomputing oracles
+// whose turn never comes.
 //
 // Oracle evaluations are independent reads of the solver state, so both
 // the initial per-hub pass and every refresh batch fan out across
@@ -45,7 +61,10 @@ import (
 type Config struct {
 	// MaxCrossEdges bounds the number of cross-edges materialized per
 	// hub-graph instance, mirroring the bound b of §3.2/§4.2. 0 means
-	// DefaultMaxCrossEdges.
+	// DefaultMaxCrossEdges. The bound is applied once, when the instance
+	// is materialized; both the oracle's coverage claim and the committed
+	// coverage are computed from the same materialized element set, so
+	// they always agree.
 	MaxCrossEdges int
 	// ExactOracle replaces the peeling oracle with brute-force subset
 	// enumeration (instances up to 24 nodes; larger hub-graphs fall back
@@ -67,6 +86,37 @@ const DefaultMaxCrossEdges = 100000
 // policy decides tie-breaks and therefore the schedule, and the schedule
 // must not vary with the worker count.
 const refreshBatch = 16
+
+// memberCacheCap bounds how many oracle member lists are retained between
+// evaluation and commit. Priorities only need the (cost, covered) pair,
+// which is stored flat for all hubs; the member slices — the O(|S|)
+// payload that used to be retained for every hub — live in a fixed-size
+// ring. A commit whose members were evicted re-derives them with one
+// deterministic re-peel of the (unchanged) instance.
+const memberCacheCap = 128
+
+// cacheStats summarizes the member cache's behavior over one solve:
+// Stores counts every member list that entered the ring (one per oracle
+// evaluation kept), HighWater the most lists simultaneously resident,
+// Retained the member entries still resident at the end. Stores greatly
+// exceeding Capacity with Retained lists capped at Capacity is what
+// "resident memory is O(active hubs)" means operationally.
+type cacheStats struct {
+	Capacity      int
+	HighWater     int
+	Stores        int
+	RetainedLists int
+	RetainedInts  int
+}
+
+// Test hooks; nil outside tests. commitObserver reports, after every hub
+// commit, the coverage the oracle claimed against the coverage the commit
+// actually performed. cacheObserver reports member-cache statistics when
+// a solve finishes.
+var (
+	commitObserver func(w graph.NodeID, claimed, covered int)
+	cacheObserver  func(cacheStats)
+)
 
 // Solve computes a request schedule for g under rates r. The result is
 // always valid (Theorem 1): every edge is pushed, pulled, or covered
@@ -96,14 +146,12 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 		remaining: m,
 		q:         pq.New(n + m),
 		scs:       make([]*scratch, workers),
-		gen:       1,
-		freshGen:  make([]uint64, n),
-		freshRes:  make([]hubEval, n),
-		touched:   make(map[graph.NodeID]bool, 64),
+		insts:     make([]*hubInstance, n),
+		fresh:     make([]bool, n),
+		freshVal:  make([]hubVal, n),
 	}
-	for e := 0; e < m; e++ {
-		sv.uncovered.Set(e)
-	}
+	sv.uncovered.SetAll()
+	sv.mcache.init()
 	for i := range sv.scs {
 		sv.scs[i] = &scratch{yMark: make([]int64, n), yPos: make([]int32, n)}
 	}
@@ -114,19 +162,22 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 		return true
 	})
 
-	// Hub candidates, initially evaluated against the full ground set —
-	// the embarrassingly parallel bulk of the solve.
+	// Materialize every hub instance and evaluate it against the full
+	// ground set — the embarrassingly parallel bulk of the solve. The
+	// instances live for the whole solve; later commits only mutate them.
 	initRes := make([]hubEval, n)
 	initOK := make([]bool, n)
 	sv.forEach(n, func(i int, sc *scratch) {
-		initRes[i], initOK[i] = evalHub(g, r, s, sv.uncovered, graph.NodeID(i), cfg, sc)
+		w := graph.NodeID(i)
+		sv.insts[i] = buildHubInstance(g, r, w, cfg, sc)
+		initRes[i], initOK[i] = evalHub(sv.insts[i], cfg, sc)
 	})
+	sv.buildInvertedIndex()
 	ids := make([]int32, 0, n)
 	prios := make([]float64, 0, n)
 	for w := 0; w < n; w++ {
 		if initOK[w] {
-			sv.freshGen[w] = sv.gen
-			sv.freshRes[w] = initRes[w]
+			sv.setFresh(graph.NodeID(w), initRes[w])
 			ids = append(ids, int32(w))
 			prios = append(prios, initRes[w].ratio())
 		}
@@ -142,22 +193,33 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 			if !sv.uncovered.Test(int(e)) {
 				continue
 			}
-			commitSingleton(g, r, s, e)
-			sv.uncovered.Clear(int(e))
-			sv.remaining--
-			sv.refresh([]graph.EdgeID{e}, -1)
+			sv.commitSingleton(e)
 			continue
 		}
 		w := graph.NodeID(id)
-		if sv.freshGen[w] == sv.gen {
+		if sv.fresh[w] {
 			// The head's oracle output was computed against the current
-			// uncovered set: it is the greedy choice. Commit it.
+			// state of its instance, which no commit has touched since:
+			// it is the greedy choice. Commit it.
 			sv.q.PopMin()
-			changed := commitHub(g, s, sv.uncovered, &sv.remaining, w, sv.freshRes[w])
-			sv.refresh(changed, w)
+			sv.commitHub(w)
 			continue
 		}
 		sv.refreshHead()
+	}
+	if cacheObserver != nil {
+		st := cacheStats{
+			Capacity:  memberCacheCap,
+			HighWater: sv.mcache.highWater,
+			Stores:    sv.mcache.stores,
+		}
+		for _, mem := range sv.mcache.members {
+			if mem != nil {
+				st.RetainedLists++
+				st.RetainedInts += len(mem)
+			}
+		}
+		cacheObserver(st)
 	}
 	// Defensive: schedule anything left (cannot happen — singletons cover
 	// every edge — but Finalize keeps the invariant obvious).
@@ -166,9 +228,9 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 }
 
 // solver carries the shared solve state. Oracle evaluations (evalHub) are
-// pure reads of g/r/s/uncovered plus a per-worker scratch, so they run
-// concurrently; all queue and schedule mutation stays on the caller
-// goroutine.
+// pure reads of the materialized instances plus a per-worker scratch, so
+// they run concurrently; all queue, schedule, and instance mutation stays
+// on the caller goroutine.
 type solver struct {
 	g   *graph.Graph
 	r   *workload.Rates
@@ -181,21 +243,187 @@ type solver struct {
 	q         *pq.IndexedMin
 	scs       []*scratch // one per worker
 
-	// Freshness stamps: freshRes[w] is the oracle output of hub w, valid
-	// iff freshGen[w] == gen. gen advances on every commit, because a
-	// commit can invalidate any hub's evaluation (covered cross-edges are
-	// not confined to the committed hub's neighborhood).
-	gen      uint64
-	freshGen []uint64
-	freshRes []hubEval
+	// insts[w] is hub w's materialized decremental oracle instance (nil
+	// when w has no producers or no consumers). invOff/invHub/invIdx form
+	// a CSR inverted index from graph edge id to every (hub, element)
+	// pair that materialized it, so covering an edge removes exactly the
+	// affected elements.
+	insts  []*hubInstance
+	invOff []int32
+	invHub []int32
+	invIdx []int32
 
-	touched  map[graph.NodeID]bool
-	touchIDs []graph.NodeID
+	// Freshness: fresh[w] means freshVal[w] matches the CURRENT state of
+	// instance w — no commit removed one of its elements or zeroed one of
+	// its weights since the evaluation. Stale entries in the queue are
+	// lower bounds (losing elements only worsens a hub), so lazy greedy
+	// re-evaluates them when they reach the head; hubs whose weights were
+	// zeroed may have improved and are re-evaluated eagerly at commit.
+	fresh    []bool
+	freshVal []hubVal
+	mcache   memberCache
+
+	memb     []bool // member marks, sized to the largest instance
 	batchIDs []graph.NodeID
 	batchRes []hubEval
 	batchOK  []bool
 	insIDs   []int32
 	insPrios []float64
+}
+
+// hubVal is the flat per-hub oracle summary retained for every hub: the
+// priority inputs plus the member-cache slot (or -1 when evicted).
+type hubVal struct {
+	cost    float64
+	covered int32
+	slot    int32
+}
+
+// hubInstance binds a hub's materialized oracle instance to the graph:
+// instance vertices [0,nx) are the producers xs, [nx, nx+len(ys)) the
+// consumers ys, and the last vertex is the hub; gid maps every
+// materialized instance edge back to its graph edge id.
+type hubInstance struct {
+	d    *densest.Decremental
+	xs   []graph.NodeID // aliases graph storage, sorted
+	ys   []graph.NodeID // aliases graph storage, sorted
+	xIDs []graph.EdgeID
+	yLo  graph.EdgeID
+	nx   int
+	gid  []graph.EdgeID
+}
+
+func (hi *hubInstance) hubIdx() int32 { return int32(hi.nx + len(hi.ys)) }
+
+// xIndex returns the instance vertex of producer x (position in the
+// sorted xs), if present.
+func (hi *hubInstance) xIndex(x graph.NodeID) (int, bool) {
+	i := sort.Search(len(hi.xs), func(i int) bool { return hi.xs[i] >= x })
+	if i < len(hi.xs) && hi.xs[i] == x {
+		return i, true
+	}
+	return 0, false
+}
+
+// yIndex returns the instance vertex of consumer y, if present.
+func (hi *hubInstance) yIndex(y graph.NodeID) (int, bool) {
+	j := sort.Search(len(hi.ys), func(j int) bool { return hi.ys[j] >= y })
+	if j < len(hi.ys) && hi.ys[j] == y {
+		return hi.nx + j, true
+	}
+	return 0, false
+}
+
+// buildHubInstance materializes the maximal hub-graph centered on w — X =
+// producers of w, Y = consumers of w, elements restricted to the first
+// MaxCrossEdges cross-edges in (producer, adjacency) order — into a
+// decremental oracle. It runs before any commit, so every edge is an
+// element and every support weight is unpaid. It only reads the graph and
+// writes sc, so concurrent calls with distinct scratches are safe.
+func buildHubInstance(g *graph.Graph, r *workload.Rates, w graph.NodeID,
+	cfg Config, sc *scratch) *hubInstance {
+
+	xs := g.InNeighbors(w)
+	ys := g.OutNeighbors(w)
+	if len(xs) == 0 || len(ys) == 0 {
+		return nil
+	}
+	xIDs := g.InEdgeIDs(w)
+	yLo, _ := g.OutEdgeRange(w)
+
+	nx, ny := len(xs), len(ys)
+	hub := int32(nx + ny)
+	if cap(sc.weight) < nx+ny+1 {
+		sc.weight = make([]float64, nx+ny+1)
+	}
+	weight := sc.weight[:nx+ny+1]
+	weight[hub] = 0
+	edges := sc.edges[:0]
+	gids := sc.gids[:0]
+	for i, x := range xs {
+		weight[i] = r.Prod[x]
+		edges = append(edges, [2]int32{int32(i), hub})
+		gids = append(gids, xIDs[i])
+	}
+	// Mark Y membership in the generation-stamped scratch array (a map
+	// here dominated the whole solve on dense graphs).
+	sc.gen++
+	for j, y := range ys {
+		weight[nx+j] = r.Cons[y]
+		edges = append(edges, [2]int32{hub, int32(nx + j)})
+		gids = append(gids, yLo+graph.EdgeID(j))
+		sc.yMark[y] = sc.gen
+		sc.yPos[y] = int32(nx + j)
+	}
+	// Cross-edges x → y, bounded as in the paper.
+	crossBudget := cfg.MaxCrossEdges
+	for i, x := range xs {
+		if crossBudget <= 0 {
+			break
+		}
+		lo, hi := g.OutEdgeRange(x)
+		targets := g.OutNeighbors(x)
+		for k := lo; k < hi; k++ {
+			y := targets[k-lo]
+			if y == w || sc.yMark[y] != sc.gen {
+				continue
+			}
+			edges = append(edges, [2]int32{int32(i), sc.yPos[y]})
+			gids = append(gids, k)
+			crossBudget--
+			if crossBudget <= 0 {
+				break
+			}
+		}
+	}
+	sc.edges = edges // keep any growth for the next build
+	sc.gids = gids
+	return &hubInstance{
+		d:    densest.NewDecremental(densest.Instance{N: nx + ny + 1, Weight: weight, Edges: edges}),
+		xs:   xs,
+		ys:   ys,
+		xIDs: xIDs,
+		yLo:  yLo,
+		nx:   nx,
+		gid:  append([]graph.EdgeID(nil), gids...),
+	}
+}
+
+// buildInvertedIndex fills the edge → (hub, element) CSR index over every
+// materialized instance edge. One sequential pass; total size equals the
+// sum of all instance sizes, the same data the instances already hold.
+func (sv *solver) buildInvertedIndex() {
+	m := sv.g.NumEdges()
+	off := make([]int32, m+1)
+	total := 0
+	for _, hi := range sv.insts {
+		if hi == nil {
+			continue
+		}
+		total += len(hi.gid)
+		for _, e := range hi.gid {
+			off[e+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		off[i+1] += off[i]
+	}
+	hubs := make([]int32, total)
+	idxs := make([]int32, total)
+	cur := make([]int32, m)
+	copy(cur, off[:m])
+	for w, hi := range sv.insts {
+		if hi == nil {
+			continue
+		}
+		for ei, e := range hi.gid {
+			p := cur[e]
+			hubs[p] = int32(w)
+			idxs[p] = int32(ei)
+			cur[e] = p + 1
+		}
+	}
+	sv.invOff, sv.invHub, sv.invIdx = off, hubs, idxs
 }
 
 // forEach runs fn(i, scratch) for i in [0, k), fanning out across the
@@ -232,6 +460,143 @@ func (sv *solver) forEach(k int, fn func(i int, sc *scratch)) {
 	wg.Wait()
 }
 
+// coverEdge removes graph edge e from the uncovered ground set and, via
+// the inverted index, deletes its element from every instance that
+// materialized it. Those hubs' cached evaluations may now overstate
+// coverage, so they go stale; their queue entries remain valid lower
+// bounds (element loss only worsens a ratio) until lazily refreshed.
+func (sv *solver) coverEdge(e graph.EdgeID) {
+	if !sv.uncovered.Test(int(e)) {
+		return
+	}
+	sv.uncovered.Clear(int(e))
+	sv.remaining--
+	for t := sv.invOff[e]; t < sv.invOff[e+1]; t++ {
+		h := sv.invHub[t]
+		if sv.insts[h].d.RemoveEdge(int(sv.invIdx[t])) {
+			sv.fresh[h] = false
+		}
+	}
+}
+
+// commitSingleton serves edge e directly at the hybrid cost. Paying for
+// the push (or pull) zeroes the matching support weight in the one hub
+// instance that uses it, which can only IMPROVE that hub's ratio — so it
+// is re-evaluated eagerly to keep every queue entry a lower bound.
+func (sv *solver) commitSingleton(e graph.EdgeID) {
+	u := sv.g.EdgeSource(e)
+	v := sv.g.EdgeTarget(e)
+	improved := graph.NodeID(-1)
+	if sv.r.Prod[u] <= sv.r.Cons[v] {
+		sv.s.SetPush(e)
+		if hi := sv.insts[v]; hi != nil {
+			if i, ok := hi.xIndex(u); ok {
+				hi.d.ZeroWeight(i)
+				improved = v
+			}
+		}
+	} else {
+		sv.s.SetPull(e)
+		if hi := sv.insts[u]; hi != nil {
+			if j, ok := hi.yIndex(v); ok {
+				hi.d.ZeroWeight(j)
+				improved = u
+			}
+		}
+	}
+	sv.coverEdge(e)
+	if improved >= 0 && sv.q.Contains(int(improved)) {
+		// Exhausted hubs (no longer queued) are never resurrected: their
+		// element set only shrinks, so a hub with nothing coverable never
+		// regains value.
+		sv.q.Remove(int(improved))
+		sv.reEval(improved)
+	}
+}
+
+// commitHub applies the oracle's choice for hub w: pushes X→w, pulls
+// w→Y, covers the live cross-elements inside the selected subgraph, and
+// removes every newly covered element from the ground set. Coverage
+// comes from the same materialized elements the oracle counted, so the
+// committed coverage equals the claimed newlyCovered exactly. The
+// committed hub's weights were zeroed (its ratio may have improved), so
+// it is re-evaluated immediately and re-queued if it still covers
+// anything.
+func (sv *solver) commitHub(w graph.NodeID) {
+	hi := sv.insts[w]
+	members := sv.cachedMembers(w)
+	if members == nil {
+		// Evicted from the bounded member cache. The instance is unchanged
+		// since the fresh evaluation, so one re-peel reproduces it.
+		ev, ok := evalHub(hi, sv.cfg, sv.scs[0])
+		if !ok {
+			return // cannot happen for a fresh queued hub; stay defensive
+		}
+		members = ev.members
+	}
+	if cap(sv.memb) < hi.d.N() {
+		sv.memb = make([]bool, hi.d.N())
+	}
+	memb := sv.memb[:hi.d.N()]
+	for _, v := range members {
+		memb[v] = true
+	}
+	hub := hi.hubIdx()
+	// Pay the support costs first: pushes for selected producers, pulls
+	// for selected consumers. Paid supports are weightless in every later
+	// evaluation of this instance.
+	for _, v := range members {
+		switch {
+		case v < int32(hi.nx):
+			sv.s.SetPush(hi.xIDs[v])
+			hi.d.ZeroWeight(int(v))
+		case v < hub:
+			sv.s.SetPull(hi.yLo + graph.EdgeID(int(v)-hi.nx))
+			hi.d.ZeroWeight(int(v))
+		}
+	}
+	// Cover every live element inside the selected subgraph: support
+	// elements are served by their own push/pull, cross-elements by
+	// piggybacking through w. Each member's incident edges are visited
+	// from their first endpoint only, so every element is handled once.
+	claimed := int(sv.freshVal[w].covered)
+	covered := 0
+	for _, v := range members {
+		for _, ei := range hi.d.IncidentEdges(int(v)) {
+			a, b := hi.d.Edge(int(ei))
+			if a != v || !memb[b] || !hi.d.EdgeAlive(int(ei)) {
+				continue
+			}
+			e := hi.gid[ei]
+			if a != hub && b != hub {
+				sv.s.SetCovered(e, w)
+			}
+			sv.coverEdge(e)
+			covered++
+		}
+	}
+	for _, v := range members {
+		memb[v] = false
+	}
+	if commitObserver != nil {
+		commitObserver(w, claimed, covered)
+	}
+	sv.reEval(w)
+}
+
+// reEval re-runs the oracle for a hub that is not currently queued and
+// re-inserts it when it still covers something; otherwise the hub is
+// exhausted and stays out for good.
+func (sv *solver) reEval(w graph.NodeID) {
+	ev, ok := evalHub(sv.insts[w], sv.cfg, sv.scs[0])
+	if !ok || ev.newlyCovered == 0 {
+		sv.fresh[w] = false
+		return
+	}
+	sv.setFresh(w, ev)
+	sv.q.Push(int(w), ev.ratio())
+}
+
 // refreshHead handles a stale hub at the head of the queue. Classic lazy
 // greedy first: refresh the head alone — stale entries are lower bounds
 // (a hub only gets worse as elements it covers disappear), so if the
@@ -244,14 +609,13 @@ func (sv *solver) refreshHead() {
 	id, _ := sv.q.Min() // caller established: a hub with a stale entry
 	sv.q.PopMin()
 	w := graph.NodeID(id)
-	res, ok := evalHub(sv.g, sv.r, sv.s, sv.uncovered, w, sv.cfg, sv.scs[0])
-	if !ok || res.newlyCovered == 0 {
+	ev, ok := evalHub(sv.insts[w], sv.cfg, sv.scs[0])
+	if !ok || ev.newlyCovered == 0 {
+		sv.fresh[w] = false
 		return // exhausted hub; it never regains value
 	}
-	sv.freshGen[w] = sv.gen
-	sv.freshRes[w] = res
-	ratio := res.ratio()
-	sv.q.Push(id, ratio)
+	sv.setFresh(w, ev)
+	sv.q.Push(id, ev.ratio())
 	if sv.q.Len() == 1 {
 		return // sole candidate; the main loop commits it
 	}
@@ -261,7 +625,7 @@ func (sv *solver) refreshHead() {
 	batch := sv.batchIDs[:0]
 	for len(batch) < refreshBatch && sv.q.Len() > 0 {
 		nid, _ := sv.q.Min()
-		if nid >= sv.n || sv.freshGen[nid] == sv.gen {
+		if nid >= sv.n || sv.fresh[nid] {
 			break // fresh hub or singleton: the main loop handles it
 		}
 		sv.q.PopMin()
@@ -271,50 +635,10 @@ func (sv *solver) refreshHead() {
 	sv.evalBatch(batch)
 }
 
-// refresh re-evaluates the hub-graphs whose oracle output may have
-// IMPROVED after schedule changes on the given edges — Algorithm 1's
-// queue maintenance, restricted to where it matters. A hub-graph's
-// ratio improves only when a support-edge weight drops to zero, and a
-// changed edge (u, v) is a support edge only of the hub-graphs
-// centered at u (as the pull w → y) or at v (as a push x → w).
-// Hub-graphs that merely lost cross-edge elements got WORSE; their
-// stale (too low) queue entries are corrected by refreshHead when they
-// reach the head. Hubs that drop out of the queue are exhausted for
-// good: Z only shrinks, so a hub with nothing coverable never regains
-// value. The one exception is the hub that just committed — it was
-// popped for processing and may still have residual coverage to offer,
-// so it is force-re-evaluated.
-func (sv *solver) refresh(edges []graph.EdgeID, committed graph.NodeID) {
-	sv.gen++
-	for w := range sv.touched {
-		delete(sv.touched, w)
-	}
-	for _, e := range edges {
-		sv.touched[sv.g.EdgeSource(e)] = true
-		sv.touched[sv.g.EdgeTarget(e)] = true
-	}
-	if committed >= 0 {
-		sv.touched[committed] = true
-	}
-	batch := sv.touchIDs[:0]
-	for w := range sv.touched {
-		if w != committed && !sv.q.Contains(int(w)) {
-			continue // exhausted hub; do not resurrect
-		}
-		batch = append(batch, w)
-	}
-	sort.Slice(batch, func(i, j int) bool { return batch[i] < batch[j] })
-	sv.touchIDs = batch
-	for _, w := range batch {
-		sv.q.Remove(int(w)) // no-op for the just-committed hub
-	}
-	sv.evalBatch(batch)
-}
-
 // evalBatch evaluates the given hubs (already removed from the queue)
 // concurrently, then re-inserts those that still cover something, marking
-// them fresh for the current generation. Hubs with nothing left stay out
-// of the queue for good — the exhaustion rule documented on refresh.
+// them fresh. Hubs with nothing left stay out of the queue for good — the
+// exhaustion rule documented on commitSingleton.
 func (sv *solver) evalBatch(batch []graph.NodeID) {
 	if len(batch) == 0 {
 		return
@@ -326,16 +650,17 @@ func (sv *solver) evalBatch(batch []graph.NodeID) {
 	res := sv.batchRes[:len(batch)]
 	ok := sv.batchOK[:len(batch)]
 	sv.forEach(len(batch), func(i int, sc *scratch) {
-		res[i], ok[i] = evalHub(sv.g, sv.r, sv.s, sv.uncovered, batch[i], sv.cfg, sc)
+		res[i], ok[i] = evalHub(sv.insts[batch[i]], sv.cfg, sc)
 	})
 	ids := sv.insIDs[:0]
 	prios := sv.insPrios[:0]
 	for i, w := range batch {
 		if ok[i] && res[i].newlyCovered > 0 {
-			sv.freshGen[w] = sv.gen
-			sv.freshRes[w] = res[i]
+			sv.setFresh(w, res[i])
 			ids = append(ids, int32(w))
 			prios = append(prios, res[i].ratio())
+		} else {
+			sv.fresh[w] = false
 		}
 	}
 	sv.q.PushBatch(ids, prios)
@@ -343,13 +668,78 @@ func (sv *solver) evalBatch(batch []graph.NodeID) {
 	sv.insPrios = prios
 }
 
-// hubEval is the oracle output for one hub: the chosen X/Y sides and how
-// much it covers at what cost.
+// setFresh records ev as hub w's current oracle output: the flat summary
+// for all hubs, the member list in the bounded cache.
+func (sv *solver) setFresh(w graph.NodeID, ev hubEval) {
+	sv.fresh[w] = true
+	sv.freshVal[w] = hubVal{
+		cost:    ev.cost,
+		covered: int32(ev.newlyCovered),
+		slot:    sv.mcache.store(w, ev.members, sv.freshVal),
+	}
+}
+
+// cachedMembers returns hub w's fresh member list if it is still resident
+// in the bounded cache, nil otherwise.
+func (sv *solver) cachedMembers(w graph.NodeID) []int32 {
+	slot := sv.freshVal[w].slot
+	if slot >= 0 && sv.mcache.hubs[slot] == w {
+		return sv.mcache.members[slot]
+	}
+	return nil
+}
+
+// memberCache is a fixed-size ring of oracle member lists. It bounds the
+// memory retained between evaluation and commit to O(memberCacheCap)
+// slices regardless of graph size; evicted entries are re-derived on
+// demand by re-peeling the unchanged instance.
+type memberCache struct {
+	hubs      []graph.NodeID
+	members   [][]int32
+	next      int
+	occupied  int
+	highWater int
+	stores    int
+}
+
+func (mc *memberCache) init() {
+	mc.hubs = make([]graph.NodeID, memberCacheCap)
+	for i := range mc.hubs {
+		mc.hubs[i] = -1
+	}
+	mc.members = make([][]int32, memberCacheCap)
+}
+
+// store places w's member list in the next ring slot, unlinking whichever
+// hub previously owned the slot, and returns the slot.
+func (mc *memberCache) store(w graph.NodeID, members []int32, vals []hubVal) int32 {
+	mc.stores++
+	slot := mc.next
+	mc.next++
+	if mc.next == memberCacheCap {
+		mc.next = 0
+	}
+	if old := mc.hubs[slot]; old >= 0 {
+		if vals[old].slot == int32(slot) {
+			vals[old].slot = -1
+		}
+	} else {
+		mc.occupied++
+		if mc.occupied > mc.highWater {
+			mc.highWater = mc.occupied
+		}
+	}
+	mc.hubs[slot] = w
+	mc.members[slot] = members
+	return int32(slot)
+}
+
+// hubEval is a transient oracle output: the selected instance vertices
+// and how much the selection covers at what cost.
 type hubEval struct {
-	xSide        []graph.NodeID // producers to push to the hub
-	ySide        []graph.NodeID // consumers to pull from the hub
-	cost         float64        // Σ unpaid rp(x) + Σ unpaid rc(y)
-	newlyCovered int            // |E(S) ∩ Z|
+	members      []int32 // instance-local vertex ids, hub vertex included
+	cost         float64 // Σ unpaid rp(x) + Σ unpaid rc(y)
+	newlyCovered int     // live elements inside the selection
 }
 
 func (h hubEval) ratio() float64 {
@@ -359,195 +749,53 @@ func (h hubEval) ratio() float64 {
 	return h.cost / float64(h.newlyCovered)
 }
 
-// evalHub builds the weighted densest-subgraph instance for the maximal
-// hub-graph centered on w — X = producers of w, Y = consumers of w — and
-// runs the oracle. Elements (numerator edges) are restricted to the
-// uncovered set Z; node weights are zeroed for support edges already in
-// H or L, per Algorithm 1's weight update rule. It only reads the shared
-// state and only writes sc, so concurrent calls with distinct scratches
-// are safe.
-func evalHub(g *graph.Graph, r *workload.Rates, s *core.Schedule,
-	uncovered *bitset.Set, w graph.NodeID, cfg Config, sc *scratch) (hubEval, bool) {
-
-	xs := g.InNeighbors(w)
-	xIDs := g.InEdgeIDs(w)
-	ys := g.OutNeighbors(w)
-	if len(xs) == 0 || len(ys) == 0 {
+// evalHub runs the oracle over the hub's live sub-instance. It only reads
+// the instance and writes sc, so concurrent calls with distinct scratches
+// are safe. A selection is usable only when it retains the hub vertex
+// (support pushes/pulls need the hub; it is weightless, so keeping it
+// never hurts) and at least one producer or consumer.
+func evalHub(hi *hubInstance, cfg Config, sc *scratch) (hubEval, bool) {
+	if hi == nil || hi.d.AliveEdges() == 0 {
 		return hubEval{}, false
 	}
-	yLo, _ := g.OutEdgeRange(w)
-
-	// Instance layout: [0, len(xs)) X side, [len(xs), len(xs)+len(ys)) Y
-	// side, last vertex = hub.
-	nx, ny := len(xs), len(ys)
-	hub := int32(nx + ny)
-	if cap(sc.weight) < nx+ny+1 {
-		sc.weight = make([]float64, nx+ny+1)
-	}
-	inst := densest.Instance{
-		N:      nx + ny + 1,
-		Weight: sc.weight[:nx+ny+1],
-		Edges:  sc.edges[:0],
-	}
-	inst.Weight[hub] = 0 // the buffer is reused; every other slot is set below
-	for i, x := range xs {
-		if s.IsPush(xIDs[i]) {
-			inst.Weight[i] = 0 // push already paid
-		} else {
-			inst.Weight[i] = r.Prod[x]
-		}
-		if uncovered.Test(int(xIDs[i])) {
-			inst.Edges = append(inst.Edges, [2]int32{int32(i), hub})
-		}
-	}
-	// Mark Y membership in the generation-stamped scratch array (a map
-	// here dominated the whole solve on dense graphs).
-	sc.gen++
-	for j, y := range ys {
-		e := yLo + graph.EdgeID(j)
-		if s.IsPull(e) {
-			inst.Weight[nx+j] = 0 // pull already paid
-		} else {
-			inst.Weight[nx+j] = r.Cons[y]
-		}
-		if uncovered.Test(int(e)) {
-			inst.Edges = append(inst.Edges, [2]int32{hub, int32(nx + j)})
-		}
-		sc.yMark[y] = sc.gen
-		sc.yPos[y] = int32(nx + j)
-	}
-	// Cross-edges x → y, bounded as in the paper.
-	crossBudget := cfg.MaxCrossEdges
-	for i, x := range xs {
-		if crossBudget <= 0 {
-			break
-		}
-		lo, hi := g.OutEdgeRange(x)
-		targets := g.OutNeighbors(x)
-		for k := lo; k < hi; k++ {
-			y := targets[k-lo]
-			if y == w || sc.yMark[y] != sc.gen || !uncovered.Test(int(k)) {
-				continue
-			}
-			inst.Edges = append(inst.Edges, [2]int32{int32(i), sc.yPos[y]})
-			crossBudget--
-			if crossBudget <= 0 {
-				break
-			}
-		}
-	}
-	sc.edges = inst.Edges // keep any growth for the next evaluation
-	if len(inst.Edges) == 0 {
-		return hubEval{}, false
-	}
-
 	var res densest.Result
-	if cfg.ExactOracle && inst.N <= 24 {
+	if cfg.ExactOracle && hi.d.N() <= 24 {
+		var inst densest.Instance
+		inst, sc.liveBuf = hi.d.LiveInstance(sc.liveBuf)
 		res = densest.Exact(inst, &sc.dsc)
 	} else {
-		res = densest.Peel(inst, &sc.dsc)
+		res = hi.d.Solve(&sc.dsc)
 	}
 	if res.EdgeCnt == 0 {
 		return hubEval{}, false
 	}
-
-	out := hubEval{cost: res.Weight}
+	hub := hi.hubIdx()
 	hubIn := false
 	for _, v := range res.Members {
-		switch {
-		case v < int32(nx):
-			out.xSide = append(out.xSide, xs[v])
-		case v < hub:
-			out.ySide = append(out.ySide, ys[v-int32(nx)])
-		default:
+		if v == hub {
 			hubIn = true
+			break
 		}
 	}
-	if !hubIn {
-		// A subgraph without the hub vertex cannot realize its cross-edge
-		// coverage (support pushes/pulls need the hub). The hub vertex has
-		// weight 0 so adding it never hurts; count only edges incident to
-		// selected members plus the hub.
+	if !hubIn || len(res.Members) < 2 {
 		return hubEval{}, false
 	}
-	out.newlyCovered = res.EdgeCnt
-	return out, len(out.xSide)+len(out.ySide) > 0
-}
-
-// commitHub applies the oracle's choice: pushes X→w, pulls w→Y, covers
-// cross-edges, and removes every newly covered element from Z. It returns
-// the edges whose schedule state changed, for queue refresh.
-func commitHub(g *graph.Graph, s *core.Schedule, uncovered *bitset.Set,
-	remaining *int, w graph.NodeID, res hubEval) []graph.EdgeID {
-
-	var changed []graph.EdgeID
-	cover := func(e graph.EdgeID) {
-		if uncovered.Test(int(e)) {
-			uncovered.Clear(int(e))
-			*remaining--
-		}
-	}
-	ySet := make(map[graph.NodeID]bool, len(res.ySide))
-	for _, y := range res.ySide {
-		ySet[y] = true
-	}
-	for _, x := range res.xSide {
-		e, ok := g.EdgeID(x, w)
-		if !ok {
-			continue
-		}
-		s.SetPush(e)
-		cover(e) // the support edge itself is served by the push
-		changed = append(changed, e)
-	}
-	for _, y := range res.ySide {
-		e, ok := g.EdgeID(w, y)
-		if !ok {
-			continue
-		}
-		s.SetPull(e)
-		cover(e)
-		changed = append(changed, e)
-	}
-	for _, x := range res.xSide {
-		lo, hi := g.OutEdgeRange(x)
-		targets := g.OutNeighbors(x)
-		for k := lo; k < hi; k++ {
-			y := targets[k-lo]
-			if y == w || !ySet[y] {
-				continue
-			}
-			if uncovered.Test(int(k)) {
-				s.SetCovered(k, w)
-				cover(k)
-				changed = append(changed, k)
-			}
-		}
-	}
-	return changed
-}
-
-// commitSingleton serves edge e directly at the hybrid cost.
-func commitSingleton(g *graph.Graph, r *workload.Rates, s *core.Schedule, e graph.EdgeID) {
-	u := g.EdgeSource(e)
-	v := g.EdgeTarget(e)
-	if r.Prod[u] <= r.Cons[v] {
-		s.SetPush(e)
-	} else {
-		s.SetPull(e)
-	}
+	return hubEval{members: res.Members, cost: res.Weight, newlyCovered: res.EdgeCnt}, true
 }
 
 // scratch holds per-worker reusable buffers: yMark/yPos form a
 // generation-stamped index from node id to the hub instance's Y-side
-// vertex (a per-evalHub map dominated profiles); weight/edges back the
-// densest instance and dsc is the peel arena, so a steady-state oracle
-// evaluation allocates only its small result slices.
+// vertex (a per-build map dominated profiles); weight/edges/gids back
+// instance materialization, liveBuf the exact-oracle snapshot, and dsc is
+// the peel arena, so a steady-state oracle evaluation allocates only its
+// small result slice.
 type scratch struct {
-	yMark  []int64
-	yPos   []int32
-	gen    int64
-	weight []float64
-	edges  [][2]int32
-	dsc    densest.Scratch
+	yMark   []int64
+	yPos    []int32
+	gen     int64
+	weight  []float64
+	edges   [][2]int32
+	gids    []graph.EdgeID
+	liveBuf [][2]int32
+	dsc     densest.Scratch
 }

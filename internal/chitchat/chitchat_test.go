@@ -127,7 +127,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 			if err := ref.Validate(); err != nil {
 				t.Fatal(err)
 			}
-			for _, workers := range []int{2, 8} {
+			for _, workers := range []int{2, 4, 8} {
 				got := Solve(tc.g, r, Config{Workers: workers})
 				if got.Cost(r) != ref.Cost(r) {
 					t.Fatalf("workers=%d cost %v differs from sequential %v",
@@ -162,6 +162,99 @@ func TestCrossEdgeBound(t *testing.T) {
 	if tight.Cost(r) < loose.Cost(r)-1e-9 {
 		t.Fatalf("tighter bound should not beat unbounded: %v vs %v",
 			tight.Cost(r), loose.Cost(r))
+	}
+}
+
+// TestCommitMatchesClaimUnderTruncation is the regression test for the
+// cross-edge accounting bug: with a binding MaxCrossEdges the oracle used
+// to count only the truncated instance while the commit covered every
+// uncovered cross-edge, so the greedy ratio disagreed with what the
+// schedule actually did. Both are now computed from the same materialized
+// element set; every hub commit must cover exactly what it claimed.
+func TestCommitMatchesClaimUnderTruncation(t *testing.T) {
+	for _, maxCross := range []int{1, 2, 5, 0 /* default, non-binding */} {
+		g := graphgen.Social(graphgen.FlickrLike(scaled(200, 120), 7))
+		r := workload.LogDegree(g, 5)
+		commits := 0
+		commitObserver = func(w graph.NodeID, claimed, covered int) {
+			commits++
+			if claimed != covered {
+				t.Errorf("maxCross=%d hub %d: claimed %d covered %d", maxCross, w, claimed, covered)
+			}
+		}
+		s := Solve(g, r, Config{MaxCrossEdges: maxCross})
+		commitObserver = nil
+		if err := s.Validate(); err != nil {
+			t.Fatalf("maxCross=%d: %v", maxCross, err)
+		}
+		if commits == 0 {
+			t.Fatalf("maxCross=%d: no hub commits observed", maxCross)
+		}
+	}
+}
+
+// TestTruncatedCoverageRespectsBudget checks the fixed MaxCrossEdges
+// semantics end to end: each hub instance materializes at most b
+// cross-edges, so no hub may cover more than b cross-edges in the final
+// schedule (support edges are push/pull, not covered).
+func TestTruncatedCoverageRespectsBudget(t *testing.T) {
+	const budget = 3
+	g := graphgen.Social(graphgen.FlickrLike(scaled(200, 120), 9))
+	r := workload.LogDegree(g, 5)
+	s := Solve(g, r, Config{MaxCrossEdges: budget})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	perHub := make(map[graph.NodeID]int)
+	for e := 0; e < g.NumEdges(); e++ {
+		if ee := graph.EdgeID(e); s.IsCovered(ee) {
+			perHub[s.Hub(ee)]++
+		}
+	}
+	for w, c := range perHub {
+		if c > budget {
+			t.Fatalf("hub %d covers %d cross-edges, budget %d", w, c, budget)
+		}
+	}
+}
+
+// TestMemberCacheBounded solves a large graph and asserts the member-list
+// cache — the only per-hub O(|S|) state retained between evaluation and
+// commit — stays at its fixed capacity while under real pressure: far
+// more member lists are stored over the solve than the ring holds, yet
+// the resident lists never exceed capacity (≪ number of hubs). Before
+// this bound, the solver retained X/Y member slices for all n hubs
+// simultaneously.
+func TestMemberCacheBounded(t *testing.T) {
+	n := scaled(5000, 1500)
+	g := graphgen.Social(graphgen.TwitterLike(n, 3))
+	r := workload.LogDegree(g, 5)
+	var st cacheStats
+	cacheObserver = func(s cacheStats) { st = s }
+	s := Solve(g, r, Config{})
+	cacheObserver = nil
+	if st.Capacity != memberCacheCap {
+		t.Fatalf("capacity = %d, want %d", st.Capacity, memberCacheCap)
+	}
+	if st.Stores <= st.Capacity {
+		t.Fatalf("only %d member lists stored (capacity %d): cache never under pressure, test proves nothing", st.Stores, st.Capacity)
+	}
+	if st.RetainedLists > st.Capacity {
+		t.Errorf("retained %d member lists, capacity %d", st.RetainedLists, st.Capacity)
+	}
+	if st.HighWater > st.Capacity {
+		t.Errorf("high-water %d exceeds capacity %d", st.HighWater, st.Capacity)
+	}
+	if st.RetainedLists >= n/4 {
+		t.Errorf("retained %d member lists for %d hubs: resident memory is not O(active hubs)", st.RetainedLists, n)
+	}
+	t.Logf("member cache: %d stores, high-water %d/%d, retained %d lists / %d ints",
+		st.Stores, st.HighWater, st.Capacity, st.RetainedLists, st.RetainedInts)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost(r) > baseline.HybridCost(g, r)+1e-6 {
+		t.Fatal("large-graph schedule worse than hybrid")
 	}
 }
 

@@ -1,0 +1,130 @@
+// Decremental densest-subgraph oracle: the instance is materialized once
+// (CSR adjacency + weights) and then maintained under the two mutations
+// CHITCHAT's greedy loop actually performs — element removal (a covered
+// edge leaves the ground set) and node-weight zeroing (a support push or
+// pull got paid). Solving re-peels only the live sub-instance over the
+// materialized layout, skipping the per-evaluation instance rebuild that
+// dominated fresh Peel calls.
+package densest
+
+// Decremental is a peeling oracle over a materialized instance that
+// supports deleting elements and zeroing node weights in O(1), with
+// solves over the remaining live sub-instance. Solve is a pure read of
+// the maintained state (all mutable peel state lives in the Scratch), so
+// concurrent Solve calls with distinct scratches are safe; RemoveEdge and
+// ZeroWeight must not run concurrently with anything else.
+type Decremental struct {
+	n      int
+	weight []float64   // current node weights (zeroed as costs are paid)
+	edges  [][2]int32  // all materialized edges, dead ones included
+	off    []int32     // CSR offsets, len n+1
+	adj    []int32     // incident edge indices, len 2*len(edges)
+	deg    []int32     // live degree per node
+	alive  []bool      // per materialized edge: element still present
+	live   int         // number of live edges
+}
+
+// NewDecremental materializes inst. The instance data is copied; later
+// changes to inst do not affect the oracle.
+func NewDecremental(inst Instance) *Decremental {
+	n := inst.N
+	m := len(inst.Edges)
+	d := &Decremental{
+		n:      n,
+		weight: append([]float64(nil), inst.Weight[:n]...),
+		edges:  append([][2]int32(nil), inst.Edges...),
+		off:    make([]int32, n+1),
+		deg:    make([]int32, n),
+		alive:  make([]bool, m),
+		live:   m,
+	}
+	for _, e := range d.edges {
+		d.deg[e[0]]++
+		d.deg[e[1]]++
+	}
+	var cur []int32
+	buildCSR(d.deg, d.edges, d.off, &d.adj, &cur)
+	for i := range d.alive {
+		d.alive[i] = true
+	}
+	return d
+}
+
+// N returns the number of instance nodes.
+func (d *Decremental) N() int { return d.n }
+
+// NumEdges returns the number of materialized edges (live or not).
+func (d *Decremental) NumEdges() int { return len(d.edges) }
+
+// AliveEdges returns the number of live elements.
+func (d *Decremental) AliveEdges() int { return d.live }
+
+// Edge returns the endpoints of materialized edge ei.
+func (d *Decremental) Edge(ei int) (a, b int32) {
+	return d.edges[ei][0], d.edges[ei][1]
+}
+
+// EdgeAlive reports whether element ei is still present.
+func (d *Decremental) EdgeAlive(ei int) bool { return d.alive[ei] }
+
+// IncidentEdges returns the materialized edge indices incident to node u
+// (live or not — check EdgeAlive). The slice aliases internal storage and
+// must not be modified.
+func (d *Decremental) IncidentEdges(u int) []int32 {
+	return d.adj[d.off[u]:d.off[u+1]]
+}
+
+// Weight returns the current weight of node u.
+func (d *Decremental) Weight(u int) float64 { return d.weight[u] }
+
+// RemoveEdge deletes element ei from the ground set. Removing an already
+// dead element is a no-op; it reports whether the element was live.
+func (d *Decremental) RemoveEdge(ei int) bool {
+	if !d.alive[ei] {
+		return false
+	}
+	d.alive[ei] = false
+	d.deg[d.edges[ei][0]]--
+	d.deg[d.edges[ei][1]]--
+	d.live--
+	return true
+}
+
+// ZeroWeight sets node u's weight to zero — the greedy step that selected
+// u already pays its support cost, so u is free for every later solve.
+func (d *Decremental) ZeroWeight(u int) { d.weight[u] = 0 }
+
+// Solve peels the live sub-instance and returns the densest intermediate
+// subgraph, exactly as Peel would on a freshly built instance holding
+// only the live edges and current weights (same members, same density).
+// It reads but never writes the maintained state; all working arrays come
+// from sc, so concurrent solves with distinct scratches are safe.
+func (d *Decremental) Solve(sc *Scratch) Result {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	if d.n == 0 {
+		return Result{}
+	}
+	deg := grow(sc.deg, d.n)
+	sc.deg = deg
+	copy(deg, d.deg)
+	edgeAlive := grow(sc.edges, len(d.edges))
+	sc.edges = edgeAlive
+	copy(edgeAlive, d.alive)
+	return peelLoop(d.n, d.weight, d.edges, d.off, d.adj, deg, edgeAlive, d.live, sc)
+}
+
+// LiveInstance appends the live edges to buf and returns an Instance view
+// of the current state (weights alias the oracle; treat as read-only).
+// Used by callers that need to hand the live sub-instance to a different
+// oracle, e.g. the exact brute-force reference.
+func (d *Decremental) LiveInstance(buf [][2]int32) (Instance, [][2]int32) {
+	buf = buf[:0]
+	for ei, e := range d.edges {
+		if d.alive[ei] {
+			buf = append(buf, e)
+		}
+	}
+	return Instance{N: d.n, Weight: d.weight, Edges: buf}, buf
+}

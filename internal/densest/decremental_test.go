@@ -1,0 +1,179 @@
+package densest
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstance builds a random weighted multigraph instance.
+func randomInstance(rng *rand.Rand) Instance {
+	n := 2 + rng.Intn(30)
+	m := rng.Intn(4 * n)
+	inst := Instance{N: n, Weight: make([]float64, n)}
+	for u := range inst.Weight {
+		if rng.Intn(5) == 0 {
+			inst.Weight[u] = 0 // already-paid nodes exist from the start too
+		} else {
+			inst.Weight[u] = 0.1 + rng.Float64()*10
+		}
+	}
+	for i := 0; i < m; i++ {
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		inst.Edges = append(inst.Edges, [2]int32{a, b})
+	}
+	return inst
+}
+
+// filtered returns the fresh-Peel view of d's current state: same node
+// set and weights, only the live edges.
+func filtered(d *Decremental) Instance {
+	inst := Instance{N: d.N(), Weight: make([]float64, d.N())}
+	for u := 0; u < d.N(); u++ {
+		inst.Weight[u] = d.Weight(u)
+	}
+	for ei := 0; ei < d.NumEdges(); ei++ {
+		if d.EdgeAlive(ei) {
+			a, b := d.Edge(ei)
+			inst.Edges = append(inst.Edges, [2]int32{a, b})
+		}
+	}
+	return inst
+}
+
+// The central equivalence the incremental oracle rests on: after ANY
+// sequence of element removals and weight zeroings, Solve returns exactly
+// what Peel returns on a freshly built instance of the live edges — same
+// members, same edge count, same weight. CHITCHAT's schedule invariance
+// across worker counts depends on this being exact, not approximate.
+func TestDecrementalMatchesFreshPeel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng)
+		d := NewDecremental(inst)
+		var sc, psc Scratch
+		for step := 0; step < 25; step++ {
+			switch {
+			case rng.Intn(3) == 0:
+				d.ZeroWeight(rng.Intn(d.N()))
+			case d.NumEdges() > 0:
+				d.RemoveEdge(rng.Intn(d.NumEdges()))
+			}
+			got := d.Solve(&sc)
+			want := Peel(filtered(d), &psc)
+			if got.EdgeCnt != want.EdgeCnt || got.Weight != want.Weight ||
+				!reflect.DeepEqual(got.Members, want.Members) {
+				t.Logf("seed %d step %d: got %+v want %+v", seed, step, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Removal bookkeeping: live counts, degrees, and double-removal no-ops.
+func TestDecrementalRemovalAccounting(t *testing.T) {
+	inst := Instance{
+		N:      4,
+		Weight: []float64{1, 2, 3, 4},
+		Edges:  [][2]int32{{0, 1}, {1, 2}, {2, 3}, {0, 3}},
+	}
+	d := NewDecremental(inst)
+	if d.AliveEdges() != 4 {
+		t.Fatalf("AliveEdges = %d, want 4", d.AliveEdges())
+	}
+	if !d.RemoveEdge(1) {
+		t.Fatal("first removal reported dead element")
+	}
+	if d.RemoveEdge(1) {
+		t.Fatal("second removal of the same element reported live")
+	}
+	if d.AliveEdges() != 3 {
+		t.Fatalf("AliveEdges = %d, want 3", d.AliveEdges())
+	}
+	live, _ := d.LiveInstance(nil)
+	if len(live.Edges) != 3 {
+		t.Fatalf("LiveInstance edges = %d, want 3", len(live.Edges))
+	}
+	for _, e := range live.Edges {
+		if e == [2]int32{1, 2} {
+			t.Fatal("removed element still in LiveInstance")
+		}
+	}
+	// Mutating the source instance must not affect the oracle.
+	inst.Weight[0] = 99
+	if d.Weight(0) != 1 {
+		t.Fatalf("Weight(0) = %v, want 1 (materialized copy)", d.Weight(0))
+	}
+}
+
+// Solve must be a pure read of the maintained state: concurrent solves
+// with distinct scratches (CHITCHAT's refresh batches run exactly this
+// way) return identical results. Run under -race.
+func TestDecrementalConcurrentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := randomInstance(rng)
+	for len(inst.Edges) < 8 { // ensure a non-trivial instance
+		inst = randomInstance(rng)
+	}
+	d := NewDecremental(inst)
+	d.RemoveEdge(0)
+	d.ZeroWeight(1)
+	ref := d.Solve(nil)
+
+	const workers = 8
+	results := make([]Result, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			var sc Scratch
+			for iter := 0; iter < 50; iter++ {
+				results[i] = d.Solve(&sc)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !reflect.DeepEqual(r, ref) {
+			t.Fatalf("worker %d result %+v differs from reference %+v", i, r, ref)
+		}
+	}
+}
+
+// FuzzDecrementalEquivalence drives the same equivalence as the quick
+// property from arbitrary fuzz seeds.
+func FuzzDecrementalEquivalence(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-9000))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng)
+		d := NewDecremental(inst)
+		var sc, psc Scratch
+		for step := 0; step < 10; step++ {
+			if d.NumEdges() > 0 && rng.Intn(2) == 0 {
+				d.RemoveEdge(rng.Intn(d.NumEdges()))
+			} else {
+				d.ZeroWeight(rng.Intn(d.N()))
+			}
+			got := d.Solve(&sc)
+			want := Peel(filtered(d), &psc)
+			if got.EdgeCnt != want.EdgeCnt || got.Weight != want.Weight ||
+				!reflect.DeepEqual(got.Members, want.Members) {
+				t.Fatalf("seed %d step %d: got %+v want %+v", seed, step, got, want)
+			}
+		}
+	})
+}

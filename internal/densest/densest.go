@@ -8,6 +8,10 @@
 // the node with the smallest weighted degree deg(u)/g(u) and return the
 // best intermediate subgraph. Lemma 1 proves this is a factor-2
 // approximation. Exact provides a brute-force reference for tests.
+// Decremental materializes an instance once and maintains it under
+// element removal and weight zeroing — the exact mutations CHITCHAT's
+// greedy commits perform — so re-solving skips the instance rebuild;
+// Decremental.Solve is guaranteed to match Peel on the live sub-instance.
 //
 // Zero-weight nodes (cost already paid by earlier greedy steps) have
 // infinite priority and are peeled last; a subgraph with positive edges
@@ -117,35 +121,59 @@ func Peel(inst Instance, sc *Scratch) Result {
 	// CSR adjacency: incident edge indices of u are adj[off[u]:off[u+1]].
 	off := grow(sc.off, n+1)
 	sc.off = off
-	off[0] = 0
-	for u := 0; u < n; u++ {
-		off[u+1] = off[u] + deg[u]
-	}
-	adj := grow(sc.adj, 2*m)
-	sc.adj = adj
-	cur := grow(sc.cur, n)
-	sc.cur = cur
-	copy(cur, off[:n])
-	for ei, e := range inst.Edges {
-		adj[cur[e[0]]] = int32(ei)
-		cur[e[0]]++
-		adj[cur[e[1]]] = int32(ei)
-		cur[e[1]]++
-	}
+	buildCSR(deg, inst.Edges, off, &sc.adj, &sc.cur)
 
-	alive := grow(sc.alive, n)
-	sc.alive = alive
-	for i := range alive {
-		alive[i] = true
-	}
 	edgeAlive := grow(sc.edges, m)
 	sc.edges = edgeAlive
 	for i := range edgeAlive {
 		edgeAlive[i] = true
 	}
 
+	return peelLoop(n, inst.Weight, inst.Edges, off, sc.adj, deg, edgeAlive, m, sc)
+}
+
+// buildCSR fills off (len n+1, off[0..n] from the degree prefix sum) and
+// adj (incident edge indices, len 2m) for the given undirected edge list.
+// deg must hold the degree of every node; cur is a reusable cursor buffer.
+func buildCSR(deg []int32, edges [][2]int32, off []int32, adjBuf, curBuf *[]int32) {
+	n := len(deg)
+	off[0] = 0
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + deg[u]
+	}
+	adj := grow(*adjBuf, 2*len(edges))
+	*adjBuf = adj
+	cur := grow(*curBuf, n)
+	*curBuf = cur
+	copy(cur, off[:n])
+	for ei, e := range edges {
+		adj[cur[e[0]]] = int32(ei)
+		cur[e[0]]++
+		adj[cur[e[1]]] = int32(ei)
+		cur[e[1]]++
+	}
+}
+
+// peelLoop is the shared peeling core behind Peel and Decremental.Solve.
+// off/adj is a CSR adjacency over the full edge list; deg and edgeAlive
+// are WORKING arrays describing the live sub-instance (deg[u] = live
+// degree, edgeAlive[ei] = element still present) and are destroyed by the
+// loop; liveEdges is the current number of live elements. The peel order
+// — and therefore the returned member set — is exactly what Peel would
+// produce on a freshly built instance containing only the live edges:
+// priorities depend only on live degrees and weights, and ties break by
+// node id.
+func peelLoop(n int, weight []float64, edges [][2]int32, off, adj []int32,
+	deg []int32, edgeAlive []bool, liveEdges int, sc *Scratch) Result {
+
+	alive := grow(sc.alive, n)
+	sc.alive = alive
+	for i := range alive {
+		alive[i] = true
+	}
+
 	prio := func(u int) float64 {
-		w := inst.Weight[u]
+		w := weight[u]
 		if w == 0 {
 			// Weightless nodes (cost already paid) are peeled last.
 			return inf()
@@ -159,14 +187,14 @@ func Peel(inst Instance, sc *Scratch) Result {
 	alivePositive := 0 // alive nodes with weight > 0
 	for u := 0; u < n; u++ {
 		prios[u] = prio(u)
-		curWeight += inst.Weight[u]
-		if inst.Weight[u] > 0 {
+		curWeight += weight[u]
+		if weight[u] > 0 {
 			alivePositive++
 		}
 	}
 	q := &sc.q
 	q.Init(prios)
-	curEdges := m
+	curEdges := liveEdges
 
 	best := Result{EdgeCnt: curEdges, Weight: curWeight}
 	bestStep := 0 // number of removals before the best snapshot
@@ -176,8 +204,8 @@ func Peel(inst Instance, sc *Scratch) Result {
 		u, _ := q.PopMin()
 		alive[u] = false
 		removalOrder = append(removalOrder, int32(u))
-		curWeight -= inst.Weight[u]
-		if inst.Weight[u] > 0 {
+		curWeight -= weight[u]
+		if weight[u] > 0 {
 			alivePositive--
 		}
 		// Snap to exact zero once every positive-weight node is gone;
@@ -192,9 +220,9 @@ func Peel(inst Instance, sc *Scratch) Result {
 			}
 			edgeAlive[ei] = false
 			curEdges--
-			other := inst.Edges[ei][0]
+			other := edges[ei][0]
 			if other == int32(u) {
-				other = inst.Edges[ei][1]
+				other = edges[ei][1]
 			}
 			if alive[other] {
 				deg[other]--
@@ -225,7 +253,7 @@ func Peel(inst Instance, sc *Scratch) Result {
 	// above can drift by a few ulps, and callers compare densities exactly.
 	best.Weight = 0
 	for _, u := range best.Members {
-		best.Weight += inst.Weight[u]
+		best.Weight += weight[u]
 	}
 	return best
 }

@@ -109,7 +109,10 @@ func (m *Maintainer) AddEdge(u, v graph.NodeID) error {
 
 // RemoveEdge deletes the edge u → v. If the edge supported hubs (as a
 // push into the hub or the hub's pull), every edge covered through it is
-// re-served directly.
+// re-served directly. Dep lists are pruned as coverage dissolves — a
+// rescued (or removed) covered edge leaves the dep list of its other
+// support too — so the index stays bounded by the live covered set across
+// arbitrarily long add/remove sequences.
 func (m *Maintainer) RemoveEdge(u, v graph.NodeID) error {
 	key := graph.Edge{From: u, To: v}
 	if i, ok := m.extraIndex[key]; ok && !m.extra[i].removed {
@@ -121,6 +124,11 @@ func (m *Maintainer) RemoveEdge(u, v graph.NodeID) error {
 		return fmt.Errorf("incremental: edge %d→%d not present", u, v)
 	}
 	m.removed.Set(int(e))
+	if m.sched.IsCovered(e) {
+		// The removed edge no longer needs its hub; unlink it from both
+		// support dep lists so they cannot accumulate dead entries.
+		m.unlinkCovered(e, -1)
+	}
 	for _, d := range m.deps[e] {
 		if m.removed.Test(int(d)) || !m.sched.IsCovered(d) {
 			continue
@@ -128,7 +136,7 @@ func (m *Maintainer) RemoveEdge(u, v graph.NodeID) error {
 		// Only rescue edges whose hub actually used e as support; deps may
 		// be stale if d was already re-served and re-covered (it cannot be
 		// re-covered by this maintainer, but stay defensive).
-		m.sched.ClearCovered(d)
+		m.unlinkCovered(d, e)
 		du := m.g.EdgeSource(d)
 		dv := m.g.EdgeTarget(d)
 		if m.r.Prod[du] <= m.r.Cons[dv] {
@@ -139,6 +147,56 @@ func (m *Maintainer) RemoveEdge(u, v graph.NodeID) error {
 	}
 	delete(m.deps, e)
 	return nil
+}
+
+// unlinkCovered dissolves the hub coverage of edge d: it is pruned from
+// the dep lists of its hub's support edges (except skip, the support
+// currently being torn down wholesale by the caller) and loses its
+// covered mark.
+func (m *Maintainer) unlinkCovered(d, skip graph.EdgeID) {
+	w := m.sched.Hub(d)
+	du := m.g.EdgeSource(d)
+	dv := m.g.EdgeTarget(d)
+	if up, ok := m.g.EdgeID(du, w); ok && up != skip {
+		m.pruneDep(up, d)
+	}
+	if down, ok := m.g.EdgeID(w, dv); ok && down != skip {
+		m.pruneDep(down, d)
+	}
+	m.sched.ClearCovered(d)
+}
+
+// pruneDep removes d from deps[support], dropping the key once the list
+// empties (order within a list is not meaningful).
+func (m *Maintainer) pruneDep(support, d graph.EdgeID) {
+	list, ok := m.deps[support]
+	if !ok {
+		return
+	}
+	for i, x := range list {
+		if x == d {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(m.deps, support)
+	} else {
+		m.deps[support] = list
+	}
+}
+
+// DepEntries returns the total number of dep-list entries — the index the
+// maintainer keeps from support edges to the covered edges relying on
+// them. With pruning it is bounded by twice the number of live covered
+// edges; exposed for tests and capacity monitoring.
+func (m *Maintainer) DepEntries() int {
+	total := 0
+	for _, list := range m.deps {
+		total += len(list)
+	}
+	return total
 }
 
 // Cost returns the throughput cost of the maintained schedule over the

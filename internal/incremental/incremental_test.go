@@ -185,6 +185,59 @@ func TestIncrementalVsStatic(t *testing.T) {
 	}
 }
 
+// countCovered tallies live covered edges — the quantity that bounds the
+// dep index.
+func countCovered(m *Maintainer) int {
+	covered := 0
+	m.g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if !m.removed.Test(int(e)) && m.sched.IsCovered(e) {
+			covered++
+		}
+		return true
+	})
+	return covered
+}
+
+// TestChurnDepsStayBounded drives a long random add/remove sequence and
+// checks that the support-edge dep index shrinks with the covered set:
+// every rescued or removed covered edge must leave the dep lists of BOTH
+// its supports, so the index never accumulates stale entries. The
+// regression this guards: deps entries for edges re-served directly used
+// to linger forever, growing the index monotonically under churn.
+func TestChurnDepsStayBounded(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(200, 3))
+	r := workload.LogDegree(g, 5)
+	m := New(nosy.Solve(g, r, nosy.Config{}).Schedule, r)
+
+	// Each dep entry must reference a live covered edge, and a covered
+	// edge has at most two supports: the index is bounded by 2·covered.
+	bound := func() int { return 2 * countCovered(m) }
+	if got := m.DepEntries(); got > bound() {
+		t.Fatalf("initial deps entries %d exceed 2·covered = %d", got, bound())
+	}
+
+	edges := g.EdgeList()
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 1000; op++ {
+		if rng.Intn(2) == 0 {
+			e := edges[rng.Intn(len(edges))]
+			_ = m.RemoveEdge(e.From, e.To) // may already be removed
+		} else {
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if u != v {
+				_ = m.AddEdge(u, v) // may already exist
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if got, b := m.DepEntries(), bound(); got > b {
+			t.Fatalf("op %d: deps entries %d exceed 2·covered = %d", op, got, b)
+		}
+	}
+}
+
 // Property: random removals and additions never break validity, and cost
 // stays non-negative.
 func TestQuickRandomChurn(t *testing.T) {

@@ -86,11 +86,22 @@ func (q *IndexedMin) Reset(n int) {
 // PushBatch, used by the densest-subgraph peeling loop.
 func (q *IndexedMin) Init(prios []float64) {
 	n := len(prios)
-	q.Reset(n)
+	// Unlike Reset, skip the pos-clearing pass: every pos slot is
+	// overwritten below. Init runs once per peel in the densest-subgraph
+	// oracle, so the redundant O(n) sweep was measurable.
+	if cap(q.pos) < n {
+		q.pos = make([]int32, n)
+		q.prio = make([]float64, n)
+	}
+	q.pos = q.pos[:n]
+	q.prio = q.prio[:n]
 	copy(q.prio, prios)
-	q.heap = q.heap[:0]
+	if cap(q.heap) < n {
+		q.heap = make([]int32, n)
+	}
+	q.heap = q.heap[:n]
 	for i := 0; i < n; i++ {
-		q.heap = append(q.heap, int32(i))
+		q.heap[i] = int32(i)
 		q.pos[i] = int32(i)
 	}
 	for i := n/2 - 1; i >= 0; i-- {

@@ -155,6 +155,36 @@ func TestInitMatchesPushes(t *testing.T) {
 	}
 }
 
+// Init is called once per peel in the densest oracle, on a scratch queue
+// left in an arbitrary state by the previous solve. It must fully
+// override leftover contents — including when the new size is smaller
+// than the old one.
+func TestInitOverridesPreviousState(t *testing.T) {
+	var q IndexedMin
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 5; round++ {
+		n := 3 + rng.Intn(50)
+		prios := make([]float64, n)
+		for i := range prios {
+			prios[i] = rng.Float64() * 100
+		}
+		q.Init(prios)
+		if q.Len() != n {
+			t.Fatalf("round %d: Len = %d, want %d", round, q.Len(), n)
+		}
+		// Drain only part of the queue so the next Init sees stale state.
+		drain := rng.Intn(n)
+		last := -1.0
+		for i := 0; i < drain; i++ {
+			_, p := q.PopMin()
+			if p < last {
+				t.Fatalf("round %d: out-of-order pop %v after %v", round, p, last)
+			}
+			last = p
+		}
+	}
+}
+
 func TestResetReuses(t *testing.T) {
 	var q IndexedMin
 	for round := 0; round < 3; round++ {
