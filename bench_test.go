@@ -12,6 +12,7 @@ package piggyback
 // EXPERIMENTS.md tables.
 
 import (
+	"sort"
 	"testing"
 
 	"piggyback/internal/baseline"
@@ -387,15 +388,74 @@ func BenchmarkRefineSweep(b *testing.B) {
 	}
 }
 
-// Worker-scaling of PARALLELNOSY on a fixed graph.
-func BenchmarkNosyWorkers(b *testing.B) {
+// Worker-scaling of PARALLELNOSY on the Quick-scale bench graph (the
+// benchGraph 800-node Flickr preset). Schedules are byte-identical
+// across worker counts (nosy.TestWorkerCountInvariance); only wall
+// clock moves, and only on machines with real cores. CI converts these
+// into BENCH_nosy.json; the tracked copy records the dev-container
+// trajectory including the pre-structural-cache baseline.
+func benchNosyWorkers(b *testing.B, workers int) {
 	g, r := benchGraph()
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				nosy.Solve(g, r, nosy.Config{Workers: workers})
-			}
-		})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nosy.Solve(g, r, nosy.Config{Workers: workers})
+	}
+}
+
+func BenchmarkNosyWorkers1(b *testing.B) { benchNosyWorkers(b, 1) }
+func BenchmarkNosyWorkers2(b *testing.B) { benchNosyWorkers(b, 2) }
+func BenchmarkNosyWorkers4(b *testing.B) { benchNosyWorkers(b, 4) }
+func BenchmarkNosyWorkers8(b *testing.B) { benchNosyWorkers(b, 8) }
+
+// CommonInEdges micro-benches: the balanced case exercises the linear
+// merge, the skewed case the galloping path (celebrity in-list vs a
+// normal user's).
+func commonInEdgesGraph() *Graph {
+	g := TwitterLikeGraph(3000, 7)
+	return g
+}
+
+func BenchmarkCommonInEdgesBalanced(b *testing.B) {
+	g := commonInEdgesGraph()
+	// Two mid-degree nodes: rank the nodes by in-degree and take a pair
+	// from the middle of the distribution.
+	type nd struct {
+		v NodeID
+		d int
+	}
+	var nodes []nd
+	for u := 0; u < g.NumNodes(); u++ {
+		nodes = append(nodes, nd{NodeID(u), g.InDegree(NodeID(u))})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].d > nodes[j].d })
+	a, c := nodes[len(nodes)/4].v, nodes[len(nodes)/4+1].v
+	var xs []NodeID
+	var ea, eb []EdgeID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xs, ea, eb = g.CommonInEdges(a, c, 0, xs[:0], ea[:0], eb[:0])
+	}
+}
+
+func BenchmarkCommonInEdgesSkewed(b *testing.B) {
+	g := commonInEdgesGraph()
+	// Celebrity (max in-degree) against a low-degree node.
+	var celeb, low NodeID
+	best, worst := -1, 1<<30
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.InDegree(NodeID(u))
+		if d > best {
+			best, celeb = d, NodeID(u)
+		}
+		if d >= 2 && d < worst {
+			worst, low = d, NodeID(u)
+		}
+	}
+	var xs []NodeID
+	var ea, eb []EdgeID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xs, ea, eb = g.CommonInEdges(celeb, low, 0, xs[:0], ea[:0], eb[:0])
 	}
 }
 

@@ -1,15 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// small JSON document, so CI can track the solver perf trajectory as a
-// per-PR artifact (BENCH_chitchat.json). Only standard-library parsing —
-// no benchstat dependency.
+// small JSON document, so CI can track the solver perf trajectory as
+// per-PR artifacts (BENCH_chitchat.json, BENCH_nosy.json). Only
+// standard-library parsing — no benchstat dependency.
 //
 //	go test -run '^$' -bench 'BenchmarkChitChatWorkers' -benchtime 1x . \
-//	    | go run ./cmd/benchjson > BENCH_chitchat.json
+//	    | go run ./cmd/benchjson -o BENCH_chitchat.json
+//	go test -run '^$' -bench . -benchtime 1x . \
+//	    | go run ./cmd/benchjson -filter '^BenchmarkNosy' -o BENCH_nosy.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -32,6 +35,19 @@ type report struct {
 }
 
 func main() {
+	filter := flag.String("filter", "", "keep only benchmarks whose name matches this regexp (default: all)")
+	out := flag.String("o", "", "output path (default: stdout)")
+	flag.Parse()
+
+	var keep *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if keep, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -filter:", err)
+			os.Exit(2)
+		}
+	}
+
 	rep := report{Benchmarks: map[string]entry{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -42,7 +58,7 @@ func main() {
 			continue
 		}
 		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		if m == nil || (keep != nil && !keep.MatchString(m[1])) {
 			continue
 		}
 		iters, err1 := strconv.ParseInt(m[2], 10, 64)
@@ -57,13 +73,21 @@ func main() {
 		os.Exit(1)
 	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		fmt.Fprintln(os.Stderr, "benchjson: no matching benchmark lines on stdin")
 		os.Exit(1)
 	}
-	out, err := json.MarshalIndent(rep, "", "  ")
+	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	os.Stdout.Write(append(out, '\n'))
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
 }

@@ -2,7 +2,10 @@
 // per-edge membership (push/pull/covered sets) without hashing.
 package bitset
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // Set is a fixed-capacity bit set. The zero value is an empty set of
 // capacity zero; use New to allocate capacity.
@@ -81,6 +84,71 @@ func (s *Set) Range(fn func(i int) bool) {
 				return
 			}
 			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, scanning
+// whole words at a time. The second return is false when no set bit
+// remains.
+func (s *Set) NextSet(i int) (int, bool) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return 0, false
+	}
+	wi := i >> 6
+	w := s.words[wi] &^ ((1 << (uint(i) & 63)) - 1)
+	for {
+		if w != 0 {
+			return wi<<6 + bits.TrailingZeros64(w), true
+		}
+		wi++
+		if wi >= len(s.words) {
+			return 0, false
+		}
+		w = s.words[wi]
+	}
+}
+
+// AppendSet appends the indices of all set bits to dst in increasing
+// order and returns the extended slice — a NextSet walk in one call.
+func (s *Set) AppendSet(dst []int32) []int32 {
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		dst = append(dst, int32(i))
+	}
+	return dst
+}
+
+// SetAtomic sets bit i and is safe to call concurrently with other
+// SetAtomic/ClearAtomic calls on the same set. Mixing it with the
+// non-atomic mutators concurrently is a data race.
+func (s *Set) SetAtomic(i int) {
+	w := &s.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// ClearAtomic clears bit i; the concurrency contract matches SetAtomic.
+func (s *Set) ClearAtomic(i int) {
+	w := &s.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return
 		}
 	}
 }

@@ -2,6 +2,7 @@ package bitset
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -117,6 +118,85 @@ func TestRangeEarlyStop(t *testing.T) {
 	})
 	if n != 10 {
 		t.Fatalf("Range visited %d bits after early stop, want 10", n)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(300)
+	want := []int{2, 63, 64, 150, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk: got %v, want %v", got, want)
+		}
+	}
+	// Same-index restart returns the bit itself; past-the-end is clean.
+	if i, ok := s.NextSet(63); !ok || i != 63 {
+		t.Fatalf("NextSet(63) = %d,%v, want 63,true", i, ok)
+	}
+	if i, ok := s.NextSet(-5); !ok || i != 2 {
+		t.Fatalf("NextSet(-5) = %d,%v, want 2,true", i, ok)
+	}
+	if _, ok := s.NextSet(300); ok {
+		t.Fatal("NextSet past capacity reported a bit")
+	}
+	if _, ok := New(0).NextSet(0); ok {
+		t.Fatal("NextSet on empty set reported a bit")
+	}
+}
+
+func TestAppendSet(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 64, 129} {
+		s.Set(i)
+	}
+	got := s.AppendSet([]int32{-1})
+	want := []int32{-1, 0, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("AppendSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendSet = %v, want %v", got, want)
+		}
+	}
+}
+
+// Concurrent SetAtomic/ClearAtomic on adjacent bits of shared words must
+// not lose updates (run under -race in CI).
+func TestAtomicSetClearConcurrent(t *testing.T) {
+	const n = 1024
+	s := New(n)
+	var wg sync.WaitGroup
+	for wk := 0; wk < 8; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := wk; i < n; i += 8 {
+				s.SetAtomic(i)
+			}
+			for i := wk; i < n; i += 16 {
+				s.ClearAtomic(i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		// Bit i is set by worker i%8 and, when i%16 < 8, cleared by the
+		// same worker afterwards — so it survives iff i%16 >= 8.
+		want := i%16 >= 8
+		if s.Test(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, s.Test(i), want)
+		}
 	}
 }
 

@@ -30,7 +30,7 @@
 // hub paid for by a singleton), while hubs that merely lost elements got
 // worse and keep their stale, too-low queue entries until they reach the
 // head. A stale head triggers a speculative refresh of the top
-// refreshBatch candidates at once. The committed choice is the same
+// Config.RefreshBatch candidates at once. The committed choice is the same
 // greedy choice up to ties; the lazy form just avoids recomputing oracles
 // whose turn never comes.
 //
@@ -75,25 +75,34 @@ type Config struct {
 	// count: workers only change who evaluates an oracle, never which
 	// candidates are refreshed or chosen.
 	Workers int
+	// RefreshBatch is how many stale hub candidates at the head of the
+	// queue are re-evaluated together when the head turns out stale; 0
+	// means DefaultRefreshBatch. It is deliberately independent of
+	// Workers: the refresh policy decides tie-breaks and therefore the
+	// schedule, and the schedule must not vary with the worker count —
+	// for any fixed RefreshBatch the result is worker-count invariant.
+	RefreshBatch int
+	// MemberCacheCap bounds how many oracle member lists are retained
+	// between evaluation and commit; 0 means DefaultMemberCacheCap.
+	// Priorities only need the (cost, covered) pair, which is stored flat
+	// for all hubs; the member slices — the O(|S|) payload that used to
+	// be retained for every hub — live in a fixed-size ring. A commit
+	// whose members were evicted re-derives them with one deterministic
+	// re-peel of the (unchanged) instance, so the cap trades memory for
+	// re-peels, never correctness.
+	MemberCacheCap int
 }
 
 // DefaultMaxCrossEdges matches the bound used for the Twitter runs in §4.2.
 const DefaultMaxCrossEdges = 100000
 
-// refreshBatch is how many stale hub candidates at the head of the queue
-// are re-evaluated together when the head turns out stale. It is a fixed
-// constant, deliberately independent of Config.Workers: the refresh
-// policy decides tie-breaks and therefore the schedule, and the schedule
-// must not vary with the worker count.
-const refreshBatch = 16
+// DefaultRefreshBatch is the speculative refresh width tuned on the
+// dev-container profiles (ROADMAP tracks re-tuning on real multi-core
+// hardware).
+const DefaultRefreshBatch = 16
 
-// memberCacheCap bounds how many oracle member lists are retained between
-// evaluation and commit. Priorities only need the (cost, covered) pair,
-// which is stored flat for all hubs; the member slices — the O(|S|)
-// payload that used to be retained for every hub — live in a fixed-size
-// ring. A commit whose members were evicted re-derives them with one
-// deterministic re-peel of the (unchanged) instance.
-const memberCacheCap = 128
+// DefaultMemberCacheCap is the member-list ring size.
+const DefaultMemberCacheCap = 128
 
 // cacheStats summarizes the member cache's behavior over one solve:
 // Stores counts every member list that entered the ring (one per oracle
@@ -128,6 +137,12 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.RefreshBatch <= 0 {
+		cfg.RefreshBatch = DefaultRefreshBatch
+	}
+	if cfg.MemberCacheCap <= 0 {
+		cfg.MemberCacheCap = DefaultMemberCacheCap
+	}
 	n := g.NumNodes()
 	m := g.NumEdges()
 	s := core.NewSchedule(g)
@@ -151,7 +166,7 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 		freshVal:  make([]hubVal, n),
 	}
 	sv.uncovered.SetAll()
-	sv.mcache.init()
+	sv.mcache.init(cfg.MemberCacheCap)
 	for i := range sv.scs {
 		sv.scs[i] = &scratch{yMark: make([]int64, n), yPos: make([]int32, n)}
 	}
@@ -209,7 +224,7 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 	}
 	if cacheObserver != nil {
 		st := cacheStats{
-			Capacity:  memberCacheCap,
+			Capacity:  cfg.MemberCacheCap,
 			HighWater: sv.mcache.highWater,
 			Stores:    sv.mcache.stores,
 		}
@@ -603,7 +618,7 @@ func (sv *solver) reEval(w graph.NodeID) {
 // fresh ratio still does not exceed the next queued priority, the head
 // remains the greedy choice and a single oracle call decides the commit.
 // Only when the head loses its slot do we speculatively refresh the next
-// refreshBatch stale candidates in one parallel round: the head region is
+// Config.RefreshBatch stale candidates in one parallel round: the head region is
 // churning, so those evaluations are likely needed next and independent.
 func (sv *solver) refreshHead() {
 	id, _ := sv.q.Min() // caller established: a hub with a stale entry
@@ -623,7 +638,7 @@ func (sv *solver) refreshHead() {
 		return // still the minimum; the main loop commits it
 	}
 	batch := sv.batchIDs[:0]
-	for len(batch) < refreshBatch && sv.q.Len() > 0 {
+	for len(batch) < sv.cfg.RefreshBatch && sv.q.Len() > 0 {
 		nid, _ := sv.q.Min()
 		if nid >= sv.n || sv.fresh[nid] {
 			break // fresh hub or singleton: the main loop handles it
@@ -690,7 +705,7 @@ func (sv *solver) cachedMembers(w graph.NodeID) []int32 {
 }
 
 // memberCache is a fixed-size ring of oracle member lists. It bounds the
-// memory retained between evaluation and commit to O(memberCacheCap)
+// memory retained between evaluation and commit to O(Config.MemberCacheCap)
 // slices regardless of graph size; evicted entries are re-derived on
 // demand by re-peeling the unchanged instance.
 type memberCache struct {
@@ -702,12 +717,12 @@ type memberCache struct {
 	stores    int
 }
 
-func (mc *memberCache) init() {
-	mc.hubs = make([]graph.NodeID, memberCacheCap)
+func (mc *memberCache) init(cap int) {
+	mc.hubs = make([]graph.NodeID, cap)
 	for i := range mc.hubs {
 		mc.hubs[i] = -1
 	}
-	mc.members = make([][]int32, memberCacheCap)
+	mc.members = make([][]int32, cap)
 }
 
 // store places w's member list in the next ring slot, unlinking whichever
@@ -716,7 +731,7 @@ func (mc *memberCache) store(w graph.NodeID, members []int32, vals []hubVal) int
 	mc.stores++
 	slot := mc.next
 	mc.next++
-	if mc.next == memberCacheCap {
+	if mc.next == len(mc.hubs) {
 		mc.next = 0
 	}
 	if old := mc.hubs[slot]; old >= 0 {

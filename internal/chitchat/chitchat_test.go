@@ -150,6 +150,45 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// TestWorkerCountInvarianceNonDefaultBatch pins worker-count invariance
+// for a non-default speculative refresh width: RefreshBatch changes which
+// stale candidates are refreshed together (and may change the schedule
+// relative to the default), but for any fixed width the schedule must
+// still be byte-identical across worker counts. A tiny MemberCacheCap
+// rides along so evicted-commit re-peels are exercised under every
+// worker count too.
+func TestWorkerCountInvarianceNonDefaultBatch(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(scaled(300, 150), 7))
+	r := workload.LogDegree(g, 5)
+	base := Config{RefreshBatch: 5, MemberCacheCap: 8}
+	refCfg := base
+	refCfg.Workers = 1
+	ref := Solve(g, r, refCfg)
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg := base
+		cfg.Workers = workers
+		got := Solve(g, r, cfg)
+		if got.Cost(r) != ref.Cost(r) {
+			t.Fatalf("workers=%d cost %v differs from sequential %v",
+				workers, got.Cost(r), ref.Cost(r))
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			ee := graph.EdgeID(e)
+			if got.IsPush(ee) != ref.IsPush(ee) ||
+				got.IsPull(ee) != ref.IsPull(ee) ||
+				got.IsCovered(ee) != ref.IsCovered(ee) {
+				t.Fatalf("workers=%d schedule differs at edge %d", workers, e)
+			}
+			if ref.IsCovered(ee) && got.Hub(ee) != ref.Hub(ee) {
+				t.Fatalf("workers=%d hub differs at edge %d", workers, e)
+			}
+		}
+	}
+}
+
 func TestCrossEdgeBound(t *testing.T) {
 	g := graphgen.Social(graphgen.TwitterLike(scaled(300, 200), 5))
 	r := workload.LogDegree(g, 5)
@@ -233,8 +272,8 @@ func TestMemberCacheBounded(t *testing.T) {
 	cacheObserver = func(s cacheStats) { st = s }
 	s := Solve(g, r, Config{})
 	cacheObserver = nil
-	if st.Capacity != memberCacheCap {
-		t.Fatalf("capacity = %d, want %d", st.Capacity, memberCacheCap)
+	if st.Capacity != DefaultMemberCacheCap {
+		t.Fatalf("capacity = %d, want %d", st.Capacity, DefaultMemberCacheCap)
 	}
 	if st.Stores <= st.Capacity {
 		t.Fatalf("only %d member lists stored (capacity %d): cache never under pressure, test proves nothing", st.Stores, st.Capacity)

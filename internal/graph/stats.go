@@ -115,16 +115,29 @@ func (g *Graph) DegreeHistogram() map[int]int {
 	return h
 }
 
+// gallopFactor is the length skew beyond which CommonInEdges abandons the
+// linear merge for a galloping search over the longer list: when one
+// endpoint is a celebrity (in-degree orders of magnitude above the
+// other's), probing the long list in O(short · log long) beats walking it.
+const gallopFactor = 16
+
 // CommonInEdges intersects the in-neighbor lists of a and b and appends,
 // for every common producer x, the node and the edge ids of x → a and
 // x → b to the provided buffers (which may be nil). It returns the
 // extended buffers. The result is truncated to limit entries if
 // limit > 0. This is PARALLELNOSY's candidate-selection hot path: the
 // in-CSR keeps edge ids parallel to the neighbor lists, so no binary
-// searches are needed.
+// searches are needed in the balanced case, and the skewed (celebrity)
+// case gallops through the longer list instead of scanning it.
 func (g *Graph) CommonInEdges(a, b NodeID, limit int, xs []NodeID, ea, eb []EdgeID) ([]NodeID, []EdgeID, []EdgeID) {
 	la, lb := g.InNeighbors(a), g.InNeighbors(b)
 	ia, ib := g.InEdgeIDs(a), g.InEdgeIDs(b)
+	switch {
+	case len(la) > gallopFactor*len(lb):
+		return intersectGallop(lb, ib, la, ia, true, limit, xs, ea, eb)
+	case len(lb) > gallopFactor*len(la):
+		return intersectGallop(la, ia, lb, ib, false, limit, xs, ea, eb)
+	}
 	start := len(xs)
 	i, j := 0, 0
 	for i < len(la) && j < len(lb) {
@@ -141,6 +154,56 @@ func (g *Graph) CommonInEdges(a, b NodeID, limit int, xs []NodeID, ea, eb []Edge
 				return xs, ea, eb
 			}
 			i++
+			j++
+		}
+	}
+	return xs, ea, eb
+}
+
+// intersectGallop intersects a short sorted list against a much longer
+// one: for each short element it gallops (exponential probe + binary
+// search) forward through the long list from the last match position.
+// swapped says the short list belongs to b, i.e. shortIDs are eb-side ids.
+func intersectGallop(short []NodeID, shortIDs []EdgeID, long []NodeID, longIDs []EdgeID,
+	swapped bool, limit int, xs []NodeID, ea, eb []EdgeID) ([]NodeID, []EdgeID, []EdgeID) {
+
+	start := len(xs)
+	j := 0
+	for i, x := range short {
+		// Exponential probe for the first long[k] >= x, then binary search
+		// inside the bracketed window [j+step/2, j+step].
+		step := 1
+		for j+step < len(long) && long[j+step] < x {
+			step <<= 1
+		}
+		lo, hi := j+step>>1, j+step
+		if hi > len(long) {
+			hi = len(long)
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if long[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		j = lo
+		if j >= len(long) {
+			return xs, ea, eb
+		}
+		if long[j] == x {
+			xs = append(xs, x)
+			if swapped {
+				ea = append(ea, longIDs[j])
+				eb = append(eb, shortIDs[i])
+			} else {
+				ea = append(ea, shortIDs[i])
+				eb = append(eb, longIDs[j])
+			}
+			if limit > 0 && len(xs)-start >= limit {
+				return xs, ea, eb
+			}
 			j++
 		}
 	}

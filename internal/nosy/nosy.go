@@ -24,11 +24,19 @@
 // one candidate — the MapReduce structure of the paper, on goroutines.
 // Package nosymr runs the identical logic (via Evaluator) as literal
 // MapReduce jobs on the in-memory engine.
+//
+// An iteration costs what changed, not the graph: the immutable
+// structural half of every evaluation is memoized once per hub edge
+// (structCache), phase 1 walks only the dirty set, per-worker buffers
+// make steady-state rounds allocation-free, and the lock table resets
+// only the words the round bid on. The schedule produced is identical to
+// the naive three-phase sweep for every worker count.
 package nosy
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"piggyback/internal/baseline"
 	"piggyback/internal/bitset"
@@ -47,6 +55,11 @@ type Config struct {
 	// MaxCrossEdges bounds |X| per candidate hub-graph, the bound b of
 	// §4.2 (100 000 for the Twitter runs). 0 means DefaultMaxCrossEdges.
 	MaxCrossEdges int
+	// StructCacheEntries bounds the producer entries resident per
+	// generation in the hub-graph structural cache (see structCache).
+	// 0 means DefaultStructCacheEntries; small values force eviction and
+	// only cost recomputation, never correctness.
+	StructCacheEntries int
 	// DisablePartialCommits turns off the X'-subset re-evaluation of
 	// phase 3 (ablation: convergence needs more iterations).
 	DisablePartialCommits bool
@@ -80,18 +93,8 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) Result {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	ev := NewEvaluator(g, r, cfg)
-	st := &state{
-		ev:         ev,
-		cfg:        cfg,
-		locks:      make([]lockWord, g.NumEdges()),
-		lockShards: make([]sync.Mutex, lockShardCount),
-		dirty:      bitset.New(g.NumEdges()),
-		cache:      make([]*Candidate, g.NumEdges()),
-	}
-	for e := 0; e < g.NumEdges(); e++ {
-		st.dirty.Set(e)
-	}
+	st := newState(NewEvaluator(g, r, cfg), cfg)
+	ev := st.ev
 	var iters []IterationStat
 	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
 		stat := st.iterate()
@@ -112,13 +115,30 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) Result {
 // Evaluator holds the candidate-pricing logic shared by the shared-memory
 // solver (this package) and the MapReduce solver (package nosymr). All
 // methods read the current schedule snapshot; only Apply writes it.
+//
+// The structural half of an evaluation — the common-producer intersection
+// behind a hub edge — depends only on the immutable graph, so it is
+// memoized in an arena-backed structCache: the first evaluation of a hub
+// edge pays the CommonInEdges merge, every later one is a re-pricing pass
+// over the cached flat arrays. Evaluator methods are safe for concurrent
+// use by multiple goroutines.
 type Evaluator struct {
-	g     *graph.Graph
-	r     *workload.Rates
-	cfg   Config
-	sched *core.Schedule
-	cstar []float64      // hybrid per-edge cost c*(e)
-	src   []graph.NodeID // source node per edge (avoids CSR binary search)
+	g       *graph.Graph
+	r       *workload.Rates
+	cfg     Config
+	sched   *core.Schedule
+	cstar   []float64      // hybrid per-edge cost c*(e)
+	src     []graph.NodeID // source node per edge (avoids CSR binary search)
+	structs *structCache
+	bufPool sync.Pool // *structBuf intersection scratch for cache misses
+}
+
+// structBuf is the per-goroutine scratch an evaluation computes an
+// uncached intersection into before handing it to the structural cache.
+type structBuf struct {
+	xs []graph.NodeID
+	xw []graph.EdgeID
+	xy []graph.EdgeID
 }
 
 // NewEvaluator returns an evaluator over an empty schedule for g.
@@ -127,13 +147,15 @@ func NewEvaluator(g *graph.Graph, r *workload.Rates, cfg Config) *Evaluator {
 		cfg.MaxCrossEdges = DefaultMaxCrossEdges
 	}
 	ev := &Evaluator{
-		g:     g,
-		r:     r,
-		cfg:   cfg,
-		sched: core.NewSchedule(g),
-		cstar: make([]float64, g.NumEdges()),
-		src:   make([]graph.NodeID, g.NumEdges()),
+		g:       g,
+		r:       r,
+		cfg:     cfg,
+		sched:   core.NewSchedule(g),
+		cstar:   make([]float64, g.NumEdges()),
+		src:     make([]graph.NodeID, g.NumEdges()),
+		structs: newStructCache(g.NumEdges(), cfg.StructCacheEntries, cfg.MaxCrossEdges),
 	}
+	ev.bufPool.New = func() any { return new(structBuf) }
 	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
 		ev.cstar[e] = baseline.EdgeCost(r, u, v)
 		ev.src[e] = u
@@ -163,19 +185,35 @@ type Candidate struct {
 // it against the snapshot, per the phase-1 rules of Algorithm 2. It
 // returns false if the hub-graph offers no positive gain.
 func (ev *Evaluator) EvalCandidate(he graph.EdgeID) (Candidate, bool) {
+	var c Candidate
+	if !ev.EvalCandidateReuse(he, &c) {
+		return Candidate{}, false
+	}
+	return c, true
+}
+
+// EvalCandidateReuse prices hub edge he into *c, reusing c's producer
+// slices so a steady-state re-evaluation allocates nothing. On true, c is
+// fully populated; on false, c's contents are unspecified. The structural
+// intersection comes from the memoized cache; only the pricing pass reads
+// the schedule.
+func (ev *Evaluator) EvalCandidateReuse(he graph.EdgeID, c *Candidate) bool {
 	s := ev.sched
 	if s.IsCovered(he) {
-		return Candidate{}, false
+		return false
 	}
 	w := ev.src[he]
 	y := ev.g.EdgeTarget(he)
-	xs, xwIDs, xyIDs := ev.g.CommonInEdges(w, y, ev.cfg.MaxCrossEdges, nil, nil, nil)
-	if len(xs) == 0 {
-		return Candidate{}, false
+	xs, xwIDs, xyIDs, buf := ev.structure(he, w, y)
+	if buf != nil {
+		defer ev.bufPool.Put(buf)
 	}
-	c := Candidate{HubEdge: he, W: w, Y: y}
+	if len(xs) == 0 {
+		return false
+	}
+	c.HubEdge, c.W, c.Y = he, w, y
+	c.Xs, c.XWEdges, c.XYEdges = c.Xs[:0], c.XWEdges[:0], c.XYEdges[:0]
 	var saved, cost float64
-	kept := 0
 	for i, x := range xs {
 		xw, xy := xwIDs[i], xyIDs[i]
 		if s.IsCovered(xw) {
@@ -186,19 +224,34 @@ func (ev *Evaluator) EvalCandidate(he graph.EdgeID) (Candidate, bool) {
 		}
 		saved += ev.cstar[xy]
 		cost += ev.pushCost(xw, x)
-		xs[kept], xwIDs[kept], xyIDs[kept] = x, xw, xy
-		kept++
+		c.Xs = append(c.Xs, x)
+		c.XWEdges = append(c.XWEdges, xw)
+		c.XYEdges = append(c.XYEdges, xy)
 	}
-	if kept == 0 {
-		return Candidate{}, false
+	if len(c.Xs) == 0 {
+		return false
 	}
-	c.Xs, c.XWEdges, c.XYEdges = xs[:kept], xwIDs[:kept], xyIDs[:kept]
 	cost += ev.pullCost(he, y)
 	c.Gain = saved - cost
-	if c.Gain <= 0 {
-		return Candidate{}, false
+	return c.Gain > 0
+}
+
+// structure returns the immutable intersection for hub edge he = (w → y),
+// from the cache when resident, recomputing and inserting it otherwise.
+// When the entry is too large to cache, the returned slices are backed by
+// buf, which the caller must return to bufPool after pricing; buf is nil
+// whenever the slices are arena-backed (or empty).
+func (ev *Evaluator) structure(he graph.EdgeID, w, y graph.NodeID) (xs []graph.NodeID, xw, xy []graph.EdgeID, buf *structBuf) {
+	if xs, xw, xy, ok := ev.structs.get(he); ok {
+		return xs, xw, xy, nil
 	}
-	return c, true
+	b := ev.bufPool.Get().(*structBuf)
+	b.xs, b.xw, b.xy = ev.g.CommonInEdges(w, y, ev.cfg.MaxCrossEdges, b.xs[:0], b.xw[:0], b.xy[:0])
+	if cxs, cxw, cxy, cached := ev.structs.put(he, b.xs, b.xw, b.xy); cached {
+		ev.bufPool.Put(b)
+		return cxs, cxw, cxy, nil
+	}
+	return b.xs, b.xw, b.xy, b
 }
 
 // pushCost is c_X(x → w): the extra cost of making the edge a push.
@@ -227,39 +280,68 @@ func (ev *Evaluator) pullCost(wy graph.EdgeID, y graph.NodeID) float64 {
 	}
 }
 
+// granter reports whether an edge's lock is granted to the candidate
+// being decided. The shared-memory solver passes a reusable lock-table
+// view; nosymr adapts its grant sets via funcGranter.
+type granter interface {
+	granted(e graph.EdgeID) bool
+}
+
+// funcGranter adapts a plain predicate to the granter interface.
+type funcGranter func(graph.EdgeID) bool
+
+func (f funcGranter) granted(e graph.EdgeID) bool { return f(e) }
+
 // Decide implements phase 3 for one candidate given its lock grants:
 // returns the committed subset of producers (indices into c.Xs), whether
 // the commit is partial, and whether to commit at all. The pull edge
 // w → y must be granted for any commit.
 func (ev *Evaluator) Decide(c *Candidate, granted func(graph.EdgeID) bool) (keep []int32, partial, ok bool) {
-	if !granted(c.HubEdge) {
+	keep, partial, ok = decideInto(ev, c, funcGranter(granted), nil)
+	if !ok {
 		return nil, false, false
 	}
+	return keep, partial, true
+}
+
+// decideInto is the one implementation of the phase-3 commit rule, used
+// by both solver substrates: kept producer indices are appended to buf
+// (which may be nil). It returns the extended buffer — truncated back to
+// its original length when the candidate does not commit — plus the
+// partial and commit flags. Generic over the granter so the shared-
+// memory solver's lock-table checks dispatch statically on the hot path.
+func decideInto[G granter](ev *Evaluator, c *Candidate, g G, buf []int32) ([]int32, bool, bool) {
+	if !g.granted(c.HubEdge) {
+		return buf, false, false
+	}
+	lo := len(buf)
 	full := true
 	for j := range c.Xs {
-		if granted(c.XWEdges[j]) && granted(c.XYEdges[j]) {
-			keep = append(keep, int32(j))
+		if g.granted(c.XWEdges[j]) && g.granted(c.XYEdges[j]) {
+			buf = append(buf, int32(j))
 		} else {
 			full = false
 		}
 	}
 	if full {
-		return keep, false, true
+		return buf, false, true
 	}
-	if ev.cfg.DisablePartialCommits || len(keep) == 0 {
-		return nil, false, false
+	if ev.cfg.DisablePartialCommits || len(buf) == lo || ev.subsetGain(c, buf[lo:]) <= 0 {
+		return buf[:lo], false, false
 	}
-	// Re-evaluate the sub-hub-graph G(X', w, y) against the same snapshot.
+	return buf, true, true
+}
+
+// subsetGain re-evaluates the sub-hub-graph G(X', w, y) restricted to the
+// producers keep (indices into c.Xs) against the same snapshot.
+func (ev *Evaluator) subsetGain(c *Candidate, keep []int32) float64 {
 	var saved, cost float64
 	for _, j := range keep {
 		saved += ev.cstar[c.XYEdges[j]]
 		cost += ev.pushCost(c.XWEdges[j], c.Xs[j])
 	}
 	cost += ev.pullCost(c.HubEdge, c.Y)
-	if saved-cost <= 0 {
-		return nil, false, false
-	}
-	return keep, true, true
+	return saved - cost
 }
 
 // Apply commits the decided subset: pull on w → y, pushes x → w, and hub
@@ -277,14 +359,69 @@ func (ev *Evaluator) Apply(c *Candidate, keep []int32) {
 // schedule state of edges pointing into its endpoints, so after an
 // iteration only hub edges in the neighborhoods of changed edges are
 // re-evaluated — the same observation behind the paper's pull-based
-// update dissemination between MapReduce iterations.
+// update dissemination between MapReduce iterations. All round-transient
+// storage (dirty list, candidate list, per-worker decision and keep
+// buffers, touched lock words) is retained and reused, so a steady-state
+// iteration is allocation-free and costs O(dirty + candidates), not O(m).
 type state struct {
 	ev         *Evaluator
 	cfg        Config
 	locks      []lockWord
 	lockShards []sync.Mutex
 	dirty      *bitset.Set  // hub edges whose evaluation may have changed
-	cache      []*Candidate // current candidate per hub edge, nil if none
+	isCand     *bitset.Set  // hub edges whose cands slot holds a live candidate
+	cands      []*Candidate // per hub edge, allocated on first candidacy, then reused
+	dirtyList  []int32      // reused scratch: this round's dirty edges
+	candList   []*Candidate
+	nodeBuf    []graph.NodeID
+	workers    []workerState
+}
+
+// newState builds the solver state Solve iterates on: all-unclaimed lock
+// table, everything dirty, no candidates yet.
+func newState(ev *Evaluator, cfg Config) *state {
+	m := ev.g.NumEdges()
+	st := &state{
+		ev:         ev,
+		cfg:        cfg,
+		locks:      make([]lockWord, m),
+		lockShards: make([]sync.Mutex, lockShardCount),
+		dirty:      bitset.New(m),
+		isCand:     bitset.New(m),
+		cands:      make([]*Candidate, m),
+		workers:    make([]workerState, cfg.Workers),
+	}
+	for i := range st.locks {
+		st.locks[i].owner = -1
+	}
+	for i := range st.workers {
+		st.workers[i].lg.locks = st.locks
+	}
+	st.dirty.SetAll()
+	return st
+}
+
+// workerState is one worker's reusable round-local storage. scratch is
+// the Candidate evaluations price into before the result is copied to a
+// per-edge slot — so edges that never pass the gain test cost one nil
+// pointer, not retained producer slices. decs/keep hold decisions until
+// the serial apply; touched records the lock words this worker was first
+// to bid on, so the end-of-round reset visits only words the round
+// actually used.
+type workerState struct {
+	scratch Candidate
+	lg      lockGranter
+	decs    []decision
+	keep    []int32 // arena backing every decision's keep list this round
+	touched []graph.EdgeID
+}
+
+// copyFrom overwrites c with a deep copy of sc, reusing c's capacity.
+func (c *Candidate) copyFrom(sc *Candidate) {
+	c.HubEdge, c.W, c.Y, c.Gain = sc.HubEdge, sc.W, sc.Y, sc.Gain
+	c.Xs = append(c.Xs[:0], sc.Xs...)
+	c.XWEdges = append(c.XWEdges[:0], sc.XWEdges...)
+	c.XYEdges = append(c.XYEdges[:0], sc.XYEdges...)
 }
 
 // lockWord is an edge's lock cell: the best (gain, owner) request seen.
@@ -296,67 +433,136 @@ type lockWord struct {
 
 const lockShardCount = 1024 // power of two
 
-// iterate runs one full candidate/lock/decide round.
+// iterate runs one full candidate/lock/decide round, then returns the
+// lock words the round bid on to the unclaimed state — the lock table is
+// all-unowned between iterations without ever paying the O(m) clear.
 func (st *state) iterate() IterationStat {
 	cands := st.phaseCandidates()
 	st.phaseLocks(cands)
-	return st.phaseDecide(cands)
+	stat := st.phaseDecide(cands)
+	st.resetLocks()
+	return stat
 }
 
-// phaseCandidates re-evaluates dirty hub edges in parallel, refreshes the
-// cache, and returns the full current candidate list.
-func (st *state) phaseCandidates() []*Candidate {
-	m := st.ev.g.NumEdges()
-	var wg sync.WaitGroup
-	chunk := (m + st.cfg.Workers - 1) / st.cfg.Workers
-	for wk := 0; wk < st.cfg.Workers; wk++ {
-		lo := wk * chunk
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for e := lo; e < hi; e++ {
-				if !st.dirty.Test(e) {
-					continue
-				}
-				if c, ok := st.ev.EvalCandidate(graph.EdgeID(e)); ok {
-					cc := c
-					st.cache[e] = &cc
-				} else {
-					st.cache[e] = nil
-				}
+// Batch widths for the atomic work cursor: small enough to balance the
+// skewed per-edge evaluation cost (celebrity neighborhoods), large enough
+// that the cursor increment is noise.
+const (
+	evalBatch   = 32
+	lockBatch   = 16
+	dirtyBatch  = 2
+	workerSpawn = 4 // minimum items per worker before fanning out
+)
+
+// fanout is the worker count parallel will use for n items: capped so
+// every spawned goroutine has at least workerSpawn items to chew on.
+func (st *state) fanout(n int) int {
+	nw := st.cfg.Workers
+	if max := (n + workerSpawn - 1) / workerSpawn; nw > max {
+		nw = max
+	}
+	return nw
+}
+
+// parallel runs fn over [0, n) in batches handed out by an atomic work
+// cursor. fn(lo, hi, wk) processes items [lo, hi) on worker wk; worker
+// ids are dense in [0, Workers). Results must be written to storage
+// indexed by item or worker, so the outcome is independent of scheduling.
+func (st *state) parallel(n, batch int, fn func(lo, hi, wk int)) {
+	nw := st.fanout(n)
+	if nw <= 1 {
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
 			}
-		}(lo, hi)
+			fn(lo, hi, 0)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for wk := 0; wk < nw; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(batch))) - batch
+				if lo >= n {
+					return
+				}
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi, wk)
+			}
+		}(wk)
 	}
 	wg.Wait()
-	st.dirty.Reset()
-	var all []*Candidate
-	for e := 0; e < m; e++ {
-		if st.cache[e] != nil {
-			all = append(all, st.cache[e])
-		}
-	}
-	return all
 }
 
-// markDirty flags every hub edge whose evaluation can be affected by a
-// schedule change on the edge into node v: hub edges leaving v (v is the
+// phaseCandidates re-evaluates exactly the dirty hub edges — workers pull
+// batches of the materialized dirty list off an atomic cursor instead of
+// scanning all m edges — then returns the full current candidate list
+// (cached entries for clean edges, fresh ones for dirty edges).
+func (st *state) phaseCandidates() []*Candidate {
+	st.dirtyList = st.dirty.AppendSet(st.dirtyList[:0])
+	list := st.dirtyList
+	st.parallel(len(list), evalBatch, func(lo, hi, wk int) {
+		sc := &st.workers[wk].scratch
+		for _, e := range list[lo:hi] {
+			if st.ev.EvalCandidateReuse(graph.EdgeID(e), sc) {
+				c := st.cands[e]
+				if c == nil {
+					c = &Candidate{}
+					st.cands[e] = c
+				}
+				c.copyFrom(sc)
+				st.isCand.SetAtomic(int(e))
+			} else {
+				st.isCand.ClearAtomic(int(e))
+			}
+		}
+	})
+	// Clear the consumed dirty bits: per-bit when sparse, whole-table when
+	// the round was dense enough that the word sweep is cheaper.
+	if len(list)*64 < st.dirty.Len() {
+		for _, e := range list {
+			st.dirty.Clear(int(e))
+		}
+	} else {
+		st.dirty.Reset()
+	}
+	st.candList = st.candList[:0]
+	st.isCand.Range(func(e int) bool {
+		st.candList = append(st.candList, st.cands[e])
+		return true
+	})
+	return st.candList
+}
+
+// markDirtyNodes flags, for every commit-affected node v, every hub edge
+// whose evaluation the commit can change: hub edges leaving v (v is the
 // hub) and hub edges entering v (the changed edge may be a cross-edge or
-// the pull edge of those candidates).
-func (st *state) markDirty(v graph.NodeID) {
-	lo, hi := st.ev.g.OutEdgeRange(v)
-	for e := lo; e < hi; e++ {
-		st.dirty.Set(int(e))
-	}
-	for _, e := range st.ev.g.InEdgeIDs(v) {
-		st.dirty.Set(int(e))
-	}
+// the pull edge of those candidates). The fan-out walks full in/out
+// neighborhoods — celebrity-sized for the hubs worth committing — so it
+// spreads across workers (parallel degrades to a serial loop when the
+// node list is small); atomic bit sets keep concurrent word updates safe
+// and are uncontended-cheap on the serial path.
+func (st *state) markDirtyNodes(vs []graph.NodeID) {
+	g := st.ev.g
+	st.parallel(len(vs), dirtyBatch, func(lo, hi, _ int) {
+		for _, v := range vs[lo:hi] {
+			elo, ehi := g.OutEdgeRange(v)
+			for e := elo; e < ehi; e++ {
+				st.dirty.SetAtomic(int(e))
+			}
+			for _, e := range g.InEdgeIDs(v) {
+				st.dirty.SetAtomic(int(e))
+			}
+		}
+	})
 }
 
 // phaseLocks lets every candidate bid for its edges; each edge keeps the
@@ -364,100 +570,131 @@ func (st *state) markDirty(v graph.NodeID) {
 // update cheap; the max-merge is commutative and associative, so the
 // result is deterministic regardless of interleaving.
 func (st *state) phaseLocks(cands []*Candidate) {
-	for i := range st.locks {
-		st.locks[i] = lockWord{gain: 0, owner: -1}
-	}
-	var wg sync.WaitGroup
-	chunk := (len(cands) + st.cfg.Workers - 1) / st.cfg.Workers
-	for wk := 0; wk < st.cfg.Workers; wk++ {
-		lo := wk * chunk
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := cands[i]
-				st.bid(c.HubEdge, c)
-				for j := range c.Xs {
-					st.bid(c.XWEdges[j], c)
-					st.bid(c.XYEdges[j], c)
-				}
+	if st.fanout(len(cands)) <= 1 {
+		// Single bidder: the shard mutexes would be pure overhead (they
+		// dominated single-worker profiles), and the max-merge outcome is
+		// the same either way.
+		w := &st.workers[0]
+		for _, c := range cands {
+			st.bidSerial(c.HubEdge, c, w)
+			for j := range c.Xs {
+				st.bidSerial(c.XWEdges[j], c, w)
+				st.bidSerial(c.XYEdges[j], c, w)
 			}
-		}(lo, hi)
+		}
+		return
 	}
-	wg.Wait()
+	st.parallel(len(cands), lockBatch, func(lo, hi, wk int) {
+		w := &st.workers[wk]
+		for _, c := range cands[lo:hi] {
+			st.bid(c.HubEdge, c, w)
+			for j := range c.Xs {
+				st.bid(c.XWEdges[j], c, w)
+				st.bid(c.XYEdges[j], c, w)
+			}
+		}
+	})
 }
 
-func (st *state) bid(e graph.EdgeID, c *Candidate) {
+// bid offers candidate c for lock word e. The first bidder of the round
+// records e in its worker-local touched list (the owner transition off
+// -1 happens exactly once per round), which is what makes the end-of-
+// round partial reset complete.
+func (st *state) bid(e graph.EdgeID, c *Candidate, w *workerState) {
 	sh := &st.lockShards[int(e)&(lockShardCount-1)]
 	sh.Lock()
-	cur := &st.locks[e]
-	if cur.owner == -1 || c.Gain > cur.gain ||
-		(c.Gain == cur.gain && c.HubEdge < cur.owner) {
-		*cur = lockWord{gain: c.Gain, owner: c.HubEdge}
-	}
+	st.bidSerial(e, c, w)
 	sh.Unlock()
 }
 
+// bidSerial is bid without the shard lock, for single-bidder rounds.
+func (st *state) bidSerial(e graph.EdgeID, c *Candidate, w *workerState) {
+	cur := &st.locks[e]
+	if cur.owner == -1 {
+		w.touched = append(w.touched, e)
+		*cur = lockWord{gain: c.Gain, owner: c.HubEdge}
+	} else if c.Gain > cur.gain || (c.Gain == cur.gain && c.HubEdge < cur.owner) {
+		*cur = lockWord{gain: c.Gain, owner: c.HubEdge}
+	}
+}
+
+// resetLocks returns every lock word bid on this round to the unclaimed
+// state and truncates the touched lists. Words never bid on were never
+// dirtied, so the table is all-unowned again in O(bids), not O(m).
+func (st *state) resetLocks() {
+	for i := range st.workers {
+		w := &st.workers[i]
+		for _, e := range w.touched {
+			st.locks[e] = lockWord{gain: 0, owner: -1}
+		}
+		w.touched = w.touched[:0]
+	}
+}
+
 // decision is a commit computed against the snapshot, applied afterwards.
+// keep lists live in the owning worker's keep arena as [lo, hi) spans —
+// offsets, not subslices, because the arena may grow while the round
+// accumulates decisions.
 type decision struct {
 	c       *Candidate
-	keep    []int32
+	lo, hi  int32
 	partial bool
+}
+
+// lockGranter is the shared-memory solver's granter: a direct lock-table
+// read, reusable per worker (only owner changes per candidate) so decide
+// allocates nothing.
+type lockGranter struct {
+	locks []lockWord
+	owner graph.EdgeID
+}
+
+func (lg *lockGranter) granted(e graph.EdgeID) bool { return lg.locks[e].owner == lg.owner }
+
+// decide runs the shared phase-3 rule (Evaluator.decideInto) for one
+// candidate against the lock table, appending the kept producers to the
+// worker's keep arena.
+func (st *state) decide(c *Candidate, w *workerState) {
+	w.lg.owner = c.HubEdge
+	lo := int32(len(w.keep))
+	keep, partial, ok := decideInto(st.ev, c, &w.lg, w.keep)
+	w.keep = keep
+	if !ok {
+		return
+	}
+	w.decs = append(w.decs, decision{c: c, lo: lo, hi: int32(len(keep)), partial: partial})
 }
 
 // phaseDecide computes commit decisions in parallel from the snapshot,
 // then applies them; lock ownership guarantees the applied writes are
-// disjoint per edge.
+// disjoint per edge. The dirty fan-out for the next round is deferred to
+// one parallel pass over all commit-affected nodes.
 func (st *state) phaseDecide(cands []*Candidate) IterationStat {
-	perWorker := make([][]decision, st.cfg.Workers)
-	var wg sync.WaitGroup
-	chunk := (len(cands) + st.cfg.Workers - 1) / st.cfg.Workers
-	for wk := 0; wk < st.cfg.Workers; wk++ {
-		lo := wk * chunk
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
+	st.parallel(len(cands), lockBatch, func(lo, hi, wk int) {
+		w := &st.workers[wk]
+		for _, c := range cands[lo:hi] {
+			st.decide(c, w)
 		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(wk, lo, hi int) {
-			defer wg.Done()
-			var out []decision
-			for i := lo; i < hi; i++ {
-				c := cands[i]
-				granted := func(e graph.EdgeID) bool { return st.locks[e].owner == c.HubEdge }
-				if keep, partial, ok := st.ev.Decide(c, granted); ok {
-					out = append(out, decision{c: c, keep: keep, partial: partial})
-				}
-			}
-			perWorker[wk] = out
-		}(wk, lo, hi)
-	}
-	wg.Wait()
+	})
 
 	stat := IterationStat{Candidates: len(cands)}
-	for _, part := range perWorker {
-		for _, d := range part {
-			st.ev.Apply(d.c, d.keep)
+	st.nodeBuf = st.nodeBuf[:0]
+	for i := range st.workers {
+		w := &st.workers[i]
+		for _, d := range w.decs {
+			st.ev.Apply(d.c, w.keep[d.lo:d.hi])
 			// All edges written by Apply point into W or Y.
-			st.markDirty(d.c.W)
-			st.markDirty(d.c.Y)
+			st.nodeBuf = append(st.nodeBuf, d.c.W, d.c.Y)
 			if d.partial {
 				stat.PartialCommits++
 			} else {
 				stat.FullCommits++
 			}
-			stat.CoveredEdges += len(d.keep)
+			stat.CoveredEdges += int(d.hi - d.lo)
 		}
+		w.decs = w.decs[:0]
+		w.keep = w.keep[:0]
 	}
+	st.markDirtyNodes(st.nodeBuf)
 	return stat
 }

@@ -166,6 +166,178 @@ func TestEmptyGraph(t *testing.T) {
 	}
 }
 
+// freshEvalReference prices hub edge he with the structural intersection
+// recomputed from the graph — the pre-cache EvalCandidate, kept as the
+// oracle the memoized path must match forever.
+func freshEvalReference(ev *Evaluator, he graph.EdgeID) (Candidate, bool) {
+	s := ev.sched
+	if s.IsCovered(he) {
+		return Candidate{}, false
+	}
+	w := ev.src[he]
+	y := ev.g.EdgeTarget(he)
+	xs, xwIDs, xyIDs := ev.g.CommonInEdges(w, y, ev.cfg.MaxCrossEdges, nil, nil, nil)
+	if len(xs) == 0 {
+		return Candidate{}, false
+	}
+	c := Candidate{HubEdge: he, W: w, Y: y}
+	var saved, cost float64
+	for i, x := range xs {
+		xw, xy := xwIDs[i], xyIDs[i]
+		if s.IsCovered(xw) || s.IsScheduled(xy) {
+			continue
+		}
+		saved += ev.cstar[xy]
+		cost += ev.pushCost(xw, x)
+		c.Xs = append(c.Xs, x)
+		c.XWEdges = append(c.XWEdges, xw)
+		c.XYEdges = append(c.XYEdges, xy)
+	}
+	if len(c.Xs) == 0 {
+		return Candidate{}, false
+	}
+	cost += ev.pullCost(he, y)
+	c.Gain = saved - cost
+	if c.Gain <= 0 {
+		return Candidate{}, false
+	}
+	return c, true
+}
+
+func sameCandidate(a, b Candidate) bool {
+	if a.HubEdge != b.HubEdge || a.W != b.W || a.Y != b.Y || a.Gain != b.Gain ||
+		len(a.Xs) != len(b.Xs) {
+		return false
+	}
+	for i := range a.Xs {
+		if a.Xs[i] != b.Xs[i] || a.XWEdges[i] != b.XWEdges[i] || a.XYEdges[i] != b.XYEdges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property pinning the structural cache: on random graphs, under
+// arbitrary interleavings of hub commits and direct schedule writes, a
+// cached-candidate re-pricing is exactly a fresh EvalCandidate — same
+// producers in the same order, bit-identical gain. Tiny cache capacities
+// force eviction mid-sequence, so hit, miss, evicted, and
+// too-large-to-cache paths are all crossed.
+func TestStructCacheRepriceMatchesFresh(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		g := graphgen.Social(graphgen.Config{
+			Nodes: n, AvgFollows: 3 + rng.Intn(5),
+			TriadProb: rng.Float64(), Reciprocity: rng.Float64(), Seed: seed,
+		})
+		if g.NumEdges() == 0 {
+			return true
+		}
+		r := workload.LogDegree(g, 0.5+rng.Float64()*10)
+		cfg := Config{Workers: 1, StructCacheEntries: []int{0, 1, 8, 256}[rng.Intn(4)]}
+		ev := NewEvaluator(g, r, cfg)
+		for round := 0; round < 8; round++ {
+			for e := 0; e < g.NumEdges(); e++ {
+				he := graph.EdgeID(e)
+				got, okGot := ev.EvalCandidate(he)
+				want, okWant := freshEvalReference(ev, he)
+				if okGot != okWant || (okGot && !sameCandidate(got, want)) {
+					return false
+				}
+			}
+			// Mutate the schedule: commit a random surviving candidate in
+			// full, plus a couple of direct push/pull writes.
+			var cands []Candidate
+			for e := 0; e < g.NumEdges(); e++ {
+				if c, ok := ev.EvalCandidate(graph.EdgeID(e)); ok {
+					cands = append(cands, c)
+				}
+			}
+			if len(cands) > 0 {
+				c := cands[rng.Intn(len(cands))]
+				keep := make([]int32, len(c.Xs))
+				for i := range keep {
+					keep[i] = int32(i)
+				}
+				ev.Apply(&c, keep)
+			}
+			for k := 0; k < 2; k++ {
+				e := graph.EdgeID(rng.Intn(g.NumEdges()))
+				if rng.Intn(2) == 0 {
+					ev.Schedule().SetPush(e)
+				} else {
+					ev.Schedule().SetPull(e)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStructCacheEvictionInvariance runs full solves under cache
+// capacities from "evict almost everything" to "cache everything" and
+// asserts the schedule is byte-identical to the uncapped single-worker
+// reference: eviction may cost recomputation, never a different answer.
+// The multi-worker rounds also stress concurrent cache access under
+// -race.
+func TestStructCacheEvictionInvariance(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(scaled(400, 200), 11))
+	r := workload.LogDegree(g, 5)
+	ref := Solve(g, r, Config{Workers: 1})
+	for _, entries := range []int{1, 64, 4096} {
+		for _, workers := range []int{1, 4} {
+			got := Solve(g, r, Config{Workers: workers, StructCacheEntries: entries})
+			if got.Schedule.Cost(r) != ref.Schedule.Cost(r) {
+				t.Fatalf("entries=%d workers=%d cost %v differs from reference %v",
+					entries, workers, got.Schedule.Cost(r), ref.Schedule.Cost(r))
+			}
+			for e := 0; e < g.NumEdges(); e++ {
+				ee := graph.EdgeID(e)
+				if got.Schedule.IsPush(ee) != ref.Schedule.IsPush(ee) ||
+					got.Schedule.IsPull(ee) != ref.Schedule.IsPull(ee) ||
+					got.Schedule.IsCovered(ee) != ref.Schedule.IsCovered(ee) {
+					t.Fatalf("entries=%d workers=%d schedule differs at edge %d", entries, workers, e)
+				}
+			}
+		}
+	}
+}
+
+// TestLockTableResetBetweenIterations is the regression test for the
+// partial lock reset: after every iteration the lock table must be
+// all-unclaimed — the touched-word reset may not leave a stale owner from
+// the round's bids, or the next round's decide phase could read a
+// phantom grant.
+func TestLockTableResetBetweenIterations(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(scaled(300, 150), 9))
+	r := workload.LogDegree(g, 5)
+	for _, workers := range []int{1, 3} {
+		cfg := Config{Workers: workers}
+		st := newState(NewEvaluator(g, r, cfg), cfg)
+		committed := 0
+		for it := 0; it < 50; it++ {
+			stat := st.iterate()
+			for e, lw := range st.locks {
+				if lw.owner != -1 || lw.gain != 0 {
+					t.Fatalf("workers=%d iteration %d: stale lock word at edge %d: %+v",
+						workers, it, e, lw)
+				}
+			}
+			committed += stat.FullCommits + stat.PartialCommits
+			if stat.FullCommits+stat.PartialCommits == 0 {
+				break
+			}
+		}
+		if committed == 0 {
+			t.Fatal("solver committed nothing; lock table never exercised")
+		}
+	}
+}
+
 // Property: valid schedules, never worse than hybrid, on random graphs
 // and rates.
 func TestQuickValidAndBounded(t *testing.T) {

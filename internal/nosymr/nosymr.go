@@ -20,6 +20,10 @@
 // The pricing, locking, and decision logic is the Evaluator from package
 // nosy, so this solver and the shared-memory one are the same algorithm
 // on different substrates; tests assert they produce identical schedules.
+// The Evaluator's memoized hub-graph structural cache carries over too:
+// the mappers of every iteration after the first — and Job 2's
+// re-derivation in the same iteration — re-price cached intersections
+// instead of recomputing them.
 package nosymr
 
 import (
