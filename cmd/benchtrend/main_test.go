@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileSourcesAndMarkdown(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	os.WriteFile(a, []byte(`{"benchmarks":{"BenchmarkChitChatWorkers1":{"iterations":2,"ns_per_op":1.94e8,"sec_per_op":0.194}}}`), 0o644)
+	os.WriteFile(b, []byte(`{"benchmarks":{"BenchmarkNosyWorkers1":{"iterations":2,"ns_per_op":4.1e8,"sec_per_op":0.41}}}`), 0o644)
+
+	srcs, err := fileSources([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("got %d sources", len(srcs))
+	}
+	md := renderMarkdown(srcs)
+	for _, want := range []string{"ChitChatWorkers1", "NosyWorkers1", "0.194", "0.41"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Two columns + source column on every data row.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(line, "| ") && strings.Count(line, "|") != 4 {
+			t.Fatalf("ragged table row: %q", line)
+		}
+	}
+}
+
+func TestFileSourcesBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := fileSources([]string{bad}); err == nil {
+		t.Fatal("expected error for malformed input")
+	}
+}

@@ -1,64 +1,77 @@
-// Dynamicgraph: maintain an optimized schedule while the social graph
-// churns (follows and unfollows), and decide when re-optimization pays
-// off — the §3.3 incremental-update policy behind Figure 5.
+// Dynamicgraph: keep an optimized schedule near-optimal while the
+// social graph churns, using the online rescheduling daemon — cheap
+// incremental patches per op, drift tracking against a cost lower
+// bound, and localized re-solves spliced in when a region churns past
+// the threshold (§3.3 extended; DESIGN.md §7).
+//
+// The -short flag runs a scaled-down version; CI uses it as the smoke
+// test for the online path.
 package main
 
 import (
+	"flag"
 	"fmt"
-	"math/rand"
 
 	"piggyback"
 )
 
 func main() {
-	full := piggyback.FlickrLikeGraph(1200, 3)
-	r := piggyback.LogDegreeRates(full, 5)
-
-	// Start from an optimized schedule over half the edges.
-	edges := full.EdgeList()
-	rng := rand.New(rand.NewSource(1))
-	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-	half := len(edges) / 2
-	base := piggyback.GraphFromEdges(full.NumNodes(), edges[:half])
-	sched, _ := piggyback.ParallelNosy(base, r, piggyback.NosyConfig{})
-	m := piggyback.NewMaintainer(sched, r)
-	fmt.Printf("optimized %d-edge graph; cost %.1f\n\n", base.NumEdges(), m.Cost())
-
-	// Apply the other half in growing batches, tracking degradation.
-	fmt.Printf("%10s  %18s  %14s\n", "new edges", "incremental ratio", "static ratio")
-	added := 0
-	for _, batch := range []int{half / 100, half / 10, half / 2} {
-		for added < batch {
-			e := edges[half+added]
-			if err := m.AddEdge(e.From, e.To); err != nil {
-				panic(err)
-			}
-			added++
-		}
-		if err := m.Validate(); err != nil {
-			panic(err)
-		}
-		cur := piggyback.GraphFromEdges(full.NumNodes(), edges[:half+added])
-		hybrid := piggyback.HybridCost(cur, r)
-		static, _ := piggyback.ParallelNosy(cur, r, piggyback.NosyConfig{})
-		fmt.Printf("%10d  %18.3f  %14.3f\n",
-			added, hybrid/m.Cost(), hybrid/static.Cost(r))
+	short := flag.Bool("short", false, "small graph and trace (CI smoke test)")
+	flag.Parse()
+	nodes, ops := 1200, 4000
+	if *short {
+		nodes, ops = 250, 800
 	}
 
-	// Unfollows: removing a hub's support edge re-serves the covered
-	// edges directly; validity is preserved throughout.
-	removed := 0
-	for _, e := range edges[:half] {
-		if removed >= 50 {
-			break
-		}
-		if err := m.RemoveEdge(e.From, e.To); err == nil {
-			removed++
-		}
+	g := piggyback.FlickrLikeGraph(nodes, 1)
+	r := piggyback.LogDegreeRates(g, 5)
+	sched := piggyback.ChitChat(g, r, piggyback.ChitChatConfig{})
+	trace := piggyback.GenerateChurn(g, r, ops, piggyback.ChurnConfig{Seed: 1})
+
+	// A lower threshold and small regions make the localized re-solves
+	// visible on a short trace; the defaults are tuned for long-running
+	// service, where re-solving is rarer.
+	maxRegion := 120
+	if *short {
+		maxRegion = 50 // keep one region inside the re-solve budget
 	}
-	if err := m.Validate(); err != nil {
+	d, err := piggyback.NewOnlineDaemon(sched, r, piggyback.OnlineConfig{
+		DriftThreshold: 0.05,
+		MaxRegionNodes: maxRegion,
+	})
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nafter %d unfollows the schedule is still valid; cost %.1f\n", removed, m.Cost())
-	fmt.Println("rule of thumb from Figure 5: re-optimize once roughly a third of the graph is new")
+	fmt.Printf("graph: %d nodes, %d edges; schedule cost %.1f (lower bound %.1f)\n\n",
+		g.NumNodes(), g.NumEdges(), d.Cost(), d.LowerBound())
+
+	fmt.Printf("%8s %12s %8s %10s %10s\n", "ops", "cost", "drift", "re-solves", "rescues")
+	for i, op := range trace {
+		if err := d.Apply(op); err != nil {
+			panic(err)
+		}
+		if (i+1)%(ops/4) == 0 {
+			st := d.Stats()
+			fmt.Printf("%8d %12.1f %8.3f %10d %10d\n",
+				i+1, d.Cost(), d.Drift(), st.Resolves+st.Reverted, st.Rescues)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+
+	// How good is the maintained schedule, really? Re-solve the churned
+	// graph from scratch and compare.
+	liveG, _ := d.Snapshot()
+	fresh := piggyback.ChitChat(liveG, d.Rates(), piggyback.ChitChatConfig{})
+	st := d.Stats()
+	fmt.Printf("\nfinal: %d live edges after %d adds / %d removes / %d rate updates\n",
+		liveG.NumEdges(), st.Adds, st.Removes, st.RateUpdates)
+	fmt.Printf("maintained cost %.1f vs from-scratch CHITCHAT %.1f (%.2f%% above)\n",
+		d.Cost(), fresh.Cost(d.Rates()), 100*(d.Cost()/fresh.Cost(d.Rates())-1))
+	fmt.Printf("localized re-solves: %d accepted, %d reverted, touching %d region edges (%.1f%% of graph)\n",
+		st.Resolves, st.Reverted, st.RegionEdges,
+		100*float64(st.RegionEdges)/float64(liveG.NumEdges()))
+	fmt.Println("\nthe daemon replaces the old rule of thumb (re-optimize at ~1/3 churn):")
+	fmt.Println("regions re-solve themselves when their own drift crosses the threshold")
 }

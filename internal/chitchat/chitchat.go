@@ -242,6 +242,16 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 	return s
 }
 
+// SolveInduced is the restricted entry point for localized
+// re-optimization: it solves the extracted region sub.G under the global
+// rates projected through the subgraph's node mapping, returning a patch
+// schedule over sub.G ready for core.ApplyPatch. CHITCHAT's quality
+// guarantee (Theorem 4) applies to the region in isolation; the splice
+// validity is argued at core.ApplyPatch.
+func SolveInduced(sub *graph.Subgraph, r *workload.Rates, cfg Config) *core.Schedule {
+	return Solve(sub.G, r.Project(sub.Global), cfg)
+}
+
 // solver carries the shared solve state. Oracle evaluations (evalHub) are
 // pure reads of the materialized instances plus a per-worker scratch, so
 // they run concurrently; all queue, schedule, and instance mutation stays

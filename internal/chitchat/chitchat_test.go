@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"piggyback/internal/baseline"
+	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/graphgen"
 	"piggyback/internal/workload"
@@ -347,5 +348,29 @@ func TestQuickValidAndBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// SolveInduced on a region must produce a valid patch over the subgraph
+// that splices back into the full schedule without breaking validity.
+func TestSolveInducedPatchRoundTrip(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(250, 8))
+	r := workload.LogDegree(g, 5)
+	full := Solve(g, r, Config{Workers: 1})
+	if err := full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := graph.KHop(g, []graph.NodeID{7, 42}, 2, 100)
+	sub := graph.Induced(g, nodes)
+	patch := SolveInduced(sub, r, Config{Workers: 1})
+	if err := patch.Validate(); err != nil {
+		t.Fatalf("patch invalid: %v", err)
+	}
+	if _, err := core.ApplyPatch(full, sub, patch, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("spliced schedule invalid: %v", err)
 	}
 }

@@ -1,0 +1,161 @@
+// Subgraph extraction with ID remapping — the substrate of localized
+// re-optimization (§3.3 as extended by the online subsystem): a churned
+// region of the social graph is cut out as a standalone dense-ID graph,
+// re-solved in isolation, and the result is spliced back through the
+// recorded node mapping.
+
+package graph
+
+import "sort"
+
+// Subgraph is a node-induced subgraph of a parent graph, with dense local
+// node and edge IDs plus the mapping back to the parent.
+type Subgraph struct {
+	// G is the extracted graph over local node ids 0..len(Global)-1.
+	G *Graph
+	// Global maps a local node id to its parent node id. It is sorted
+	// ascending, so extraction is deterministic for a given node set.
+	Global []NodeID
+	// local maps a parent node id to its local id (dense slice lookup
+	// would cost O(parent nodes) memory per region; regions are small).
+	local map[NodeID]NodeID
+}
+
+// Local returns the local id of parent node u, if u is in the subgraph.
+func (s *Subgraph) Local(u NodeID) (NodeID, bool) {
+	l, ok := s.local[u]
+	return l, ok
+}
+
+// NumNodes returns the number of nodes in the subgraph.
+func (s *Subgraph) NumNodes() int { return len(s.Global) }
+
+// dedupSorted sorts nodes ascending and removes duplicates in place.
+func dedupSorted(nodes []NodeID) []NodeID {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	dst := 0
+	for i, v := range nodes {
+		if i > 0 && v == nodes[i-1] {
+			continue
+		}
+		nodes[dst] = v
+		dst++
+	}
+	return nodes[:dst]
+}
+
+// Induced extracts the subgraph of g induced by the given nodes
+// (duplicates tolerated): every edge of g with both endpoints in the set
+// is kept, remapped to dense local ids. The input slice is not retained;
+// node order does not affect the result.
+func Induced(g *Graph, nodes []NodeID) *Subgraph {
+	global := dedupSorted(append([]NodeID(nil), nodes...))
+	local := make(map[NodeID]NodeID, len(global))
+	for i, v := range global {
+		local[v] = NodeID(i)
+	}
+	b := NewBuilder(len(global))
+	for lu, u := range global {
+		for _, v := range g.OutNeighbors(u) {
+			if lv, ok := local[v]; ok {
+				b.AddEdge(NodeID(lu), lv)
+			}
+		}
+	}
+	return &Subgraph{G: b.Build(), Global: global, local: local}
+}
+
+// InducedFromEdges extracts the subgraph induced by nodes over an
+// explicit parent edge list — for live graphs that exist only as an edge
+// set (base graph plus churn) rather than a frozen CSR structure.
+func InducedFromEdges(nodes []NodeID, edges []Edge) *Subgraph {
+	global := dedupSorted(append([]NodeID(nil), nodes...))
+	local := make(map[NodeID]NodeID, len(global))
+	for i, v := range global {
+		local[v] = NodeID(i)
+	}
+	b := NewBuilder(len(global))
+	for _, e := range edges {
+		lu, ok1 := local[e.From]
+		lv, ok2 := local[e.To]
+		if ok1 && ok2 {
+			b.AddEdge(lu, lv)
+		}
+	}
+	return &Subgraph{G: b.Build(), Global: global, local: local}
+}
+
+// InducedEdgeIDs returns the parent edge ids with both endpoints in the
+// node set (duplicates tolerated), ascending — the restricted edge set
+// a localized solver run is allowed to touch. CSR edge ids are
+// contiguous and ascending per source node, so walking the deduplicated
+// node set in order yields the result already sorted and unique.
+func InducedEdgeIDs(g *Graph, nodes []NodeID) []EdgeID {
+	uniq := dedupSorted(append([]NodeID(nil), nodes...))
+	set := make(map[NodeID]struct{}, len(uniq))
+	for _, v := range uniq {
+		set[v] = struct{}{}
+	}
+	var out []EdgeID
+	for _, u := range uniq {
+		lo, hi := g.OutEdgeRange(u)
+		targets := g.OutNeighbors(u)
+		for e := lo; e < hi; e++ {
+			if _, ok := set[targets[e-lo]]; ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// KHop returns the nodes within k hops of the seeds, treating edges as
+// undirected (a hub neighborhood spans both producers and consumers).
+// The result is sorted ascending and includes the seeds. maxNodes > 0
+// caps the result size: BFS stops admitting nodes once the cap is
+// reached, completing the current layer in (distance, node id) order so
+// the cut is deterministic.
+func KHop(g *Graph, seeds []NodeID, k, maxNodes int) []NodeID {
+	frontier := dedupSorted(append([]NodeID(nil), seeds...))
+	if maxNodes > 0 && len(frontier) > maxNodes {
+		frontier = frontier[:maxNodes]
+	}
+	seen := make(map[NodeID]struct{}, len(frontier))
+	out := make([]NodeID, 0, len(frontier))
+	for _, v := range frontier {
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	for hop := 0; hop < k; hop++ {
+		// Discover the WHOLE next layer before cutting, so a cap admits
+		// the lowest-id nodes of the layer regardless of which frontier
+		// node found them.
+		var next []NodeID
+		for _, u := range frontier {
+			for _, v := range g.OutNeighbors(u) {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					next = append(next, v)
+				}
+			}
+			for _, v := range g.InNeighbors(u) {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					next = append(next, v)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		full := false
+		if maxNodes > 0 && len(out)+len(next) >= maxNodes {
+			next = next[:maxNodes-len(out)]
+			full = true
+		}
+		out = append(out, next...)
+		if full || len(next) == 0 {
+			break
+		}
+		frontier = next
+	}
+	return dedupSorted(out)
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func subTestGraph() *Graph {
+	// 0→1, 0→2, 1→2, 2→3, 3→0, 1→4, 4→2
+	return FromEdges(5, []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {4, 2},
+	})
+}
+
+func TestInducedRemapsIDs(t *testing.T) {
+	g := subTestGraph()
+	sub := Induced(g, []NodeID{2, 0, 1, 0}) // dup + unsorted on purpose
+	if got := sub.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	if !reflect.DeepEqual(sub.Global, []NodeID{0, 1, 2}) {
+		t.Fatalf("Global = %v", sub.Global)
+	}
+	// Induced edges among {0,1,2}: 0→1, 0→2, 1→2.
+	if got := sub.G.NumEdges(); got != 3 {
+		t.Fatalf("NumEdges = %d, want 3", got)
+	}
+	for _, e := range sub.G.EdgeList() {
+		gu, gv := sub.Global[e.From], sub.Global[e.To]
+		if !g.HasEdge(gu, gv) {
+			t.Fatalf("subgraph edge %v maps to missing parent edge %d→%d", e, gu, gv)
+		}
+	}
+	if l, ok := sub.Local(2); !ok || l != 2 {
+		t.Fatalf("Local(2) = %d,%v", l, ok)
+	}
+	if _, ok := sub.Local(3); ok {
+		t.Fatal("Local(3) should be absent")
+	}
+}
+
+func TestInducedFromEdgesMatchesInduced(t *testing.T) {
+	g := subTestGraph()
+	nodes := []NodeID{0, 1, 2, 4}
+	a := Induced(g, nodes)
+	b := InducedFromEdges(nodes, g.EdgeList())
+	if !reflect.DeepEqual(a.Global, b.Global) {
+		t.Fatalf("Global mismatch: %v vs %v", a.Global, b.Global)
+	}
+	if !reflect.DeepEqual(a.G.EdgeList(), b.G.EdgeList()) {
+		t.Fatalf("edge mismatch: %v vs %v", a.G.EdgeList(), b.G.EdgeList())
+	}
+}
+
+func TestInducedEdgeIDs(t *testing.T) {
+	g := subTestGraph()
+	ids := InducedEdgeIDs(g, []NodeID{0, 1, 2})
+	want := []EdgeID{}
+	g.Edges(func(e EdgeID, u, v NodeID) bool {
+		if u <= 2 && v <= 2 {
+			want = append(want, e)
+		}
+		return true
+	})
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("InducedEdgeIDs = %v, want %v", ids, want)
+	}
+}
+
+func TestKHopUndirected(t *testing.T) {
+	g := subTestGraph()
+	// 1 hop of {3}: out 3→0, in 2→3 → {0, 2, 3}.
+	got := KHop(g, []NodeID{3}, 1, 0)
+	if !reflect.DeepEqual(got, []NodeID{0, 2, 3}) {
+		t.Fatalf("KHop(3,1) = %v", got)
+	}
+	// 2 hops reach everything in this graph.
+	got = KHop(g, []NodeID{3}, 2, 0)
+	if !reflect.DeepEqual(got, []NodeID{0, 1, 2, 3, 4}) {
+		t.Fatalf("KHop(3,2) = %v", got)
+	}
+	// 0 hops: seeds only.
+	got = KHop(g, []NodeID{4, 1, 4}, 0, 0)
+	if !reflect.DeepEqual(got, []NodeID{1, 4}) {
+		t.Fatalf("KHop(seeds,0) = %v", got)
+	}
+}
+
+func TestKHopCapDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder(60)
+	for i := 0; i < 300; i++ {
+		u := NodeID(rng.Intn(60))
+		v := NodeID(rng.Intn(60))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	a := KHop(g, []NodeID{5}, 3, 20)
+	c := KHop(g, []NodeID{5}, 3, 20)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatalf("capped KHop not deterministic: %v vs %v", a, c)
+	}
+	if len(a) > 20 {
+		t.Fatalf("cap violated: %d nodes", len(a))
+	}
+	uncapped := KHop(g, []NodeID{5}, 3, 0)
+	if len(uncapped) < len(a) {
+		t.Fatal("uncapped smaller than capped")
+	}
+}

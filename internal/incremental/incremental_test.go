@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"piggyback/internal/baseline"
+	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/graphgen"
 	"piggyback/internal/nosy"
@@ -56,7 +57,12 @@ func TestAddEdgeHybridCost(t *testing.T) {
 	if err := m.AddEdge(u, v); err != nil {
 		t.Fatal(err)
 	}
+	// The edge is either covered for free through an existing hub or
+	// served directly at the hybrid cost — never anything worse.
 	want := before + math.Min(r.Prod[u], r.Cons[v])
+	if _, _, _, covered := m.findHub(u, v); covered {
+		want = before
+	}
 	if math.Abs(m.Cost()-want) > 1e-9 {
 		t.Fatalf("cost after add = %v, want %v", m.Cost(), want)
 	}
@@ -75,6 +81,12 @@ func TestAddEdgeRejectsBad(t *testing.T) {
 	}
 	if err := m.AddEdge(0, 10000); err == nil {
 		t.Fatal("out-of-range accepted")
+	}
+	if err := m.RemoveEdge(0, 10000); err == nil {
+		t.Fatal("out-of-range remove accepted")
+	}
+	if err := m.RemoveEdge(-1, 0); err == nil {
+		t.Fatal("negative-id remove accepted")
 	}
 }
 
@@ -185,9 +197,11 @@ func TestIncrementalVsStatic(t *testing.T) {
 	}
 }
 
-// countCovered tallies live covered edges — the quantity that bounds the
-// dep index.
-func countCovered(m *Maintainer) int {
+// countCovered recounts live covered edges (base and extra) from scratch
+// — the quantity that bounds the dep index, cross-checked against the
+// maintainer's running CoveredCount.
+func countCovered(t *testing.T, m *Maintainer) int {
+	t.Helper()
 	covered := 0
 	m.g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
 		if !m.removed.Test(int(e)) && m.sched.IsCovered(e) {
@@ -195,6 +209,14 @@ func countCovered(m *Maintainer) int {
 		}
 		return true
 	})
+	for _, x := range m.extra {
+		if !x.removed && x.flags&core.FlagCovered != 0 {
+			covered++
+		}
+	}
+	if got := m.CoveredCount(); got != covered {
+		t.Fatalf("CoveredCount = %d, recount = %d", got, covered)
+	}
 	return covered
 }
 
@@ -211,7 +233,7 @@ func TestChurnDepsStayBounded(t *testing.T) {
 
 	// Each dep entry must reference a live covered edge, and a covered
 	// edge has at most two supports: the index is bounded by 2·covered.
-	bound := func() int { return 2 * countCovered(m) }
+	bound := func() int { return 2 * countCovered(t, m) }
 	if got := m.DepEntries(); got > bound() {
 		t.Fatalf("initial deps entries %d exceed 2·covered = %d", got, bound())
 	}
@@ -269,5 +291,208 @@ func TestQuickRandomChurn(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The satellite regression for the AddEdge hub-membership check: an edge
+// whose endpoints are already bracketed by a paid push u→w / pull w→v
+// pair must be covered for free instead of paying the hybrid cost.
+func TestAddEdgeCoversThroughExistingHub(t *testing.T) {
+	// 0→1 push, 1→2 pull, 1→3 pull; 0→2 covered via hub 1. The edge 0→3
+	// is absent but coverable through the same hub.
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 1, To: 3},
+	})
+	r := workload.NewUniform(4, 1)
+	s := core.NewSchedule(g)
+	up, _ := g.EdgeID(0, 1)
+	d2, _ := g.EdgeID(1, 2)
+	d3, _ := g.EdgeID(1, 3)
+	cov, _ := g.EdgeID(0, 2)
+	s.SetPush(up)
+	s.SetPull(d2)
+	s.SetPull(d3)
+	s.SetCovered(cov, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := New(s, r)
+	before := m.Cost()
+
+	if err := m.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Cost(); got != before {
+		t.Fatalf("coverable add changed cost: %v → %v", before, got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CoveredCount(); got != 2 {
+		t.Fatalf("CoveredCount = %d, want 2", got)
+	}
+
+	// Removing the pull support 1→3 must rescue the covered extra edge.
+	rescued := 0
+	m.OnRescue = func(u, v graph.NodeID, cost float64) {
+		if u == 0 && v == 3 {
+			rescued++
+		}
+	}
+	if err := m.RemoveEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if rescued != 1 {
+		t.Fatalf("rescue hook fired %d times for 0→3, want 1", rescued)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hub-dense regression: re-adding previously covered edges of an
+// optimized Flickr-like schedule must come out cheaper than the direct
+// hybrid patching the old maintainer did, because at least some re-adds
+// find their hub still paid for.
+func TestReAddOnHubDenseGraphBeatsDirectPatching(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(300, 17))
+	r := workload.LogDegree(g, 5)
+	m := New(nosy.Solve(g, r, nosy.Config{}).Schedule, r)
+
+	var coveredEdges []graph.Edge
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if m.sched.IsCovered(e) && len(coveredEdges) < 40 {
+			coveredEdges = append(coveredEdges, graph.Edge{From: u, To: v})
+		}
+		return true
+	})
+	if len(coveredEdges) < 10 {
+		t.Skipf("only %d covered edges; graph not hub-dense enough", len(coveredEdges))
+	}
+	for _, e := range coveredEdges {
+		if err := m.RemoveEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	afterRemove := m.Cost()
+	directPatch := afterRemove
+	for _, e := range coveredEdges {
+		directPatch += math.Min(r.Prod[e.From], r.Cons[e.To])
+		if err := m.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cost() >= directPatch-1e-9 {
+		t.Fatalf("hub-membership check saved nothing: cost %v vs direct patching %v",
+			m.Cost(), directPatch)
+	}
+}
+
+// costAgrees rebases the maintainer and checks the running cost against
+// a fresh core.Schedule.Cost recomputation over the live graph.
+func costAgrees(t *testing.T, m *Maintainer, r *workload.Rates) {
+	t.Helper()
+	ng, ns := m.Rebase()
+	if err := ns.Validate(); err != nil {
+		t.Fatalf("rebased schedule invalid: %v", err)
+	}
+	if ng.NumEdges() != m.NumEdges() {
+		t.Fatalf("rebased graph has %d edges, maintainer reports %d",
+			ng.NumEdges(), m.NumEdges())
+	}
+	fresh := ns.Cost(r)
+	if diff := math.Abs(fresh - m.Cost()); diff > 1e-6*(1+math.Abs(fresh)) {
+		t.Fatalf("running cost %v != fresh recomputation %v (diff %v)",
+			m.Cost(), fresh, diff)
+	}
+}
+
+func TestRunningCostMatchesRecompute(t *testing.T) {
+	g, r, m := optimized(250, 19)
+	costAgrees(t, m, r)
+	edges := g.EdgeList()
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 300; op++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			e := edges[rng.Intn(len(edges))]
+			_ = m.RemoveEdge(e.From, e.To)
+		case 2, 3:
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			v := graph.NodeID(rng.Intn(g.NumNodes()))
+			if u != v {
+				_ = m.AddEdge(u, v)
+			}
+		case 4:
+			u := graph.NodeID(rng.Intn(g.NumNodes()))
+			if err := m.UpdateRates(u, rng.Float64()*4, rng.Float64()*10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	costAgrees(t, m, r)
+}
+
+// The satellite churn property test: a 1000-op random add/remove/
+// re-solve sequence keeps Validate() passing and the running Cost()
+// equal to a fresh core.Schedule.Cost recomputation of the rebased live
+// graph. CI runs this package under -race.
+func TestChurnPropertyAddRemoveResolve(t *testing.T) {
+	nodes := 200
+	if testing.Short() {
+		nodes = 80
+	}
+	g := graphgen.Social(graphgen.FlickrLike(nodes, 23))
+	r := workload.LogDegree(g, 5)
+	m := New(nosy.Solve(g, r, nosy.Config{}).Schedule, r)
+	live := g
+	rng := rand.New(rand.NewSource(99))
+
+	for op := 0; op < 1000; op++ {
+		switch {
+		case op%97 == 96: // periodic localized re-solve of a churned region
+			ng, ns := m.Rebase()
+			seed := graph.NodeID(rng.Intn(ng.NumNodes()))
+			region := graph.InducedEdgeIDs(ng, graph.KHop(ng, []graph.NodeID{seed}, 2, 60))
+			res := nosy.SolveRestricted(ng, r, nosy.Config{}, ns, region)
+			if err := res.Schedule.Validate(); err != nil {
+				t.Fatalf("op %d: restricted re-solve invalid: %v", op, err)
+			}
+			m = New(res.Schedule, r)
+			live = ng
+		case rng.Intn(2) == 0:
+			el := live.EdgeList()
+			e := el[rng.Intn(len(el))]
+			_ = m.RemoveEdge(e.From, e.To)
+		default:
+			u := graph.NodeID(rng.Intn(live.NumNodes()))
+			v := graph.NodeID(rng.Intn(live.NumNodes()))
+			if u != v {
+				_ = m.AddEdge(u, v)
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+	costAgrees(t, m, r)
+}
+
+func TestUpdateRatesRejectsBad(t *testing.T) {
+	_, _, m := optimized(50, 3)
+	if err := m.UpdateRates(-1, 1, 1); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if err := m.UpdateRates(0, -1, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := m.UpdateRates(0, math.NaN(), 1); err == nil {
+		t.Fatal("NaN rate accepted")
 	}
 }

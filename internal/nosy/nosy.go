@@ -85,6 +85,9 @@ type IterationStat struct {
 type Result struct {
 	Schedule   *core.Schedule
 	Iterations []IterationStat
+	// BoundaryRepairs is the number of exterior coverage supports
+	// restored after a restricted solve (always 0 for full solves).
+	BoundaryRepairs int
 }
 
 // Solve runs PARALLELNOSY to convergence and returns the finalized
@@ -112,6 +115,45 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) Result {
 	return Result{Schedule: ev.Schedule(), Iterations: iters}
 }
 
+// SolveRestricted re-optimizes ONLY the given region edges of g, starting
+// from base — the localized re-solve entry point of the online
+// rescheduling subsystem (§3.3 extended). base must be a valid schedule
+// over g; it is cloned, the region edges are cleared, and the usual
+// three-phase iteration runs with the dirty set seeded to the region
+// instead of every edge, so the work is proportional to the region. A
+// candidate hub-graph is admitted only if its pull edge and every kept
+// (x→w, x→y) producer pair lie inside the region; edges outside the
+// region therefore keep their base assignment, except that RepairCoverage
+// may ADD a push/pull flag to restore exterior coverage whose support the
+// region re-solve reassigned (the splice-validity argument of DESIGN.md
+// §7). The result is valid and byte-identical for every worker count.
+func SolveRestricted(g *graph.Graph, r *workload.Rates, cfg Config,
+	base *core.Schedule, region []graph.EdgeID) Result {
+
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	ev := NewEvaluator(g, r, cfg)
+	ev.sched = base.Clone()
+	ev.restrict = bitset.New(g.NumEdges())
+	for _, e := range region {
+		ev.restrict.Set(int(e))
+		ev.sched.ClearEdge(e)
+	}
+	st := newState(ev, cfg)
+	var iters []IterationStat
+	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
+		stat := st.iterate()
+		iters = append(iters, stat)
+		if stat.FullCommits+stat.PartialCommits == 0 {
+			break
+		}
+	}
+	ev.sched.FinalizeEdges(r, region)
+	repairs := core.RepairCoverage(ev.sched, r)
+	return Result{Schedule: ev.sched, Iterations: iters, BoundaryRepairs: repairs}
+}
+
 // Evaluator holds the candidate-pricing logic shared by the shared-memory
 // solver (this package) and the MapReduce solver (package nosymr). All
 // methods read the current schedule snapshot; only Apply writes it.
@@ -131,6 +173,11 @@ type Evaluator struct {
 	src     []graph.NodeID // source node per edge (avoids CSR binary search)
 	structs *structCache
 	bufPool sync.Pool // *structBuf intersection scratch for cache misses
+
+	// restrict, when non-nil, confines the solver to a region: only
+	// edges in the set may be written, so a candidate's hub edge and
+	// every kept producer pair must lie inside it (SolveRestricted).
+	restrict *bitset.Set
 }
 
 // structBuf is the per-goroutine scratch an evaluation computes an
@@ -199,6 +246,9 @@ func (ev *Evaluator) EvalCandidate(he graph.EdgeID) (Candidate, bool) {
 // the schedule.
 func (ev *Evaluator) EvalCandidateReuse(he graph.EdgeID, c *Candidate) bool {
 	s := ev.sched
+	if ev.restrict != nil && !ev.restrict.Test(int(he)) {
+		return false // pull edge outside the region: the commit may not write it
+	}
 	if s.IsCovered(he) {
 		return false
 	}
@@ -216,6 +266,18 @@ func (ev *Evaluator) EvalCandidateReuse(he graph.EdgeID, c *Candidate) bool {
 	var saved, cost float64
 	for i, x := range xs {
 		xw, xy := xwIDs[i], xyIDs[i]
+		if ev.restrict != nil {
+			if !ev.restrict.Test(int(xy)) {
+				continue // covering an exterior cross-edge would rewrite it
+			}
+			if !ev.restrict.Test(int(xw)) && !s.IsPush(xw) {
+				// An exterior support is usable only when it is already a
+				// push: the commit's SetPush is then a no-op, so the
+				// exterior assignment never changes, while the candidate
+				// amortizes against structure the region did not pay for.
+				continue
+			}
+		}
 		if s.IsCovered(xw) {
 			continue // don't undo an earlier hub that covers x → w
 		}
@@ -397,7 +459,16 @@ func newState(ev *Evaluator, cfg Config) *state {
 	for i := range st.workers {
 		st.workers[i].lg.locks = st.locks
 	}
-	st.dirty.SetAll()
+	if ev.restrict != nil {
+		// Restricted solve: only region edges can become candidates, so
+		// seeding anything else dirty would be wasted evaluation.
+		ev.restrict.Range(func(e int) bool {
+			st.dirty.Set(e)
+			return true
+		})
+	} else {
+		st.dirty.SetAll()
+	}
 	return st
 }
 

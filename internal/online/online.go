@@ -1,0 +1,472 @@
+// Package online is the online rescheduling subsystem: a long-running
+// scheduler daemon that keeps a request schedule near-optimal while the
+// social graph churns underneath it.
+//
+// The batch solvers (CHITCHAT, PARALLELNOSY) produce high-quality
+// schedules but cost seconds to hours; the incremental maintainer
+// (§3.3) patches updates in microseconds but only ever greedily, so
+// quality drifts monotonically away from the optimum and nothing wins
+// it back. The daemon closes that loop:
+//
+//  1. Ingest — every churn op (edge add/remove, rate update) is applied
+//     through incremental.Maintainer: free hub coverage when an existing
+//     hub already brackets the new edge, hybrid direct service
+//     otherwise, rescues on support removal. O(degree) per op.
+//  2. Track — each op charges its patch regret (the cost the greedy
+//     patch pays that a re-solve might not) as "dirt" on the op's
+//     endpoint nodes, and the daemon maintains a coverability lower
+//     bound on the optimal cost, so Drift() = (Cost − LB)/LB is
+//     available per op in O(1).
+//  3. Localize — every CheckEvery ops the daemon finds the dirtiest
+//     node; if the dirt inside its k-hop neighborhood exceeds
+//     DriftThreshold × current cost, the region is extracted from the
+//     rebased live graph (graph.Induced / graph.InducedEdgeIDs with ID
+//     remapping) and re-solved in isolation with CHITCHAT
+//     (chitchat.SolveInduced on the extracted subgraph) or PARALLELNOSY
+//     (nosy.SolveRestricted over the region edge set, reusing the
+//     dirty-set machinery).
+//  4. Splice — the patch replaces the region's assignments atomically
+//     (core.ApplyPatch restores boundary supports; DESIGN.md §7 argues
+//     validity), but only if it actually lowers the live cost —
+//     regressions are rolled back, so the daemon's schedule quality is
+//     monotone at every splice point.
+//
+// Everything is deterministic for a fixed trace, configuration and
+// seed: solver results are worker-count invariant, region selection
+// breaks ties by lowest node id, and no operation consults time or
+// randomness.
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/chitchat"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/incremental"
+	"piggyback/internal/nosy"
+	"piggyback/internal/refine"
+	"piggyback/internal/workload"
+)
+
+// SolverKind selects the localized re-solve algorithm.
+type SolverKind uint8
+
+const (
+	// SolverChitChat re-solves regions with the CHITCHAT approximation
+	// on the extracted subgraph — the quality reference, fine for the
+	// region sizes the daemon extracts.
+	SolverChitChat SolverKind = iota
+	// SolverNosy re-solves regions in place with PARALLELNOSY
+	// restricted to the region edge set.
+	SolverNosy
+)
+
+// Config tunes the daemon. The zero value uses the defaults.
+type Config struct {
+	// K is the hop radius of the extracted dirty region; 0 means 2 —
+	// wide enough to contain every hub structure a churned edge can
+	// participate in (a hub neighborhood is 1 hop; its cross-edges span
+	// 2).
+	K int
+	// DriftThreshold triggers a localized re-solve when the dirt
+	// accumulated inside a candidate region exceeds DriftThreshold ×
+	// the region's own hybrid cost mass (Σ c* over its edges) — i.e.
+	// when the region has churned by that fraction of itself. 0 means
+	// 0.25; negative disables re-solves (pure incremental maintenance,
+	// for ablation).
+	DriftThreshold float64
+	// CheckEvery is how many ops pass between drift checks; 0 means 16.
+	CheckEvery int
+	// MaxRegionNodes caps the extracted region size; 0 means 768.
+	MaxRegionNodes int
+	// BudgetFraction caps the cumulative re-solved region size (accepted
+	// or reverted) at this fraction of the live edge count — the hard
+	// guarantee that localized re-solving stays a small share of total
+	// work no matter how the drift signal behaves. 0 means 0.2; negative
+	// removes the cap.
+	BudgetFraction float64
+	// Solver picks the localized re-solve algorithm.
+	Solver SolverKind
+	// ChitChat configures SolverChitChat re-solves.
+	ChitChat chitchat.Config
+	// Nosy configures SolverNosy re-solves.
+	Nosy nosy.Config
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.K == 0 {
+		cfg.K = 2
+	}
+	if cfg.DriftThreshold == 0 {
+		cfg.DriftThreshold = 0.25
+	}
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = 16
+	}
+	if cfg.MaxRegionNodes == 0 {
+		cfg.MaxRegionNodes = 768
+	}
+	if cfg.BudgetFraction == 0 {
+		cfg.BudgetFraction = 0.2
+	}
+	return cfg
+}
+
+// Stats counts what the daemon has done.
+type Stats struct {
+	Ops, Adds, Removes, RateUpdates int
+	// Rescues counts covered edges re-served directly because a support
+	// disappeared.
+	Rescues int
+	// Resolves counts accepted localized re-solves; Reverted counts
+	// re-solves rolled back because the patch did not lower the cost.
+	Resolves, Reverted int
+	// RegionEdges is the cumulative edge count of all re-solved regions
+	// (accepted or reverted) — the "localized work" measure: compare it
+	// against the live edge count to see how much of the graph the
+	// daemon ever re-solved.
+	RegionEdges int
+	// BoundaryRepairs counts exterior coverage supports restored by
+	// splices.
+	BoundaryRepairs int
+}
+
+// Daemon maintains a near-optimal schedule over a churning graph. Not
+// safe for concurrent use; feed it from one goroutine (Serve does).
+type Daemon struct {
+	cfg Config
+	r   *workload.Rates
+	m   *incremental.Maintainer
+
+	// epoch is the CSR graph backing the current maintainer (the live
+	// graph as of the last rebase). Region discovery walks it; it lags
+	// the true live graph by at most the churn since the last re-solve.
+	epoch *graph.Graph
+
+	dirt     []float64 // per-node accumulated patch regret
+	lb       float64   // coverability lower bound, recomputed per epoch
+	sinceChk int
+	// revertStreak counts consecutive reverted re-solves; each one
+	// doubles the effective drift threshold (reset on accept), so a
+	// graph state where patches cannot win stops being probed instead
+	// of thrashing the budget.
+	revertStreak int
+	// charged records whether any dirt landed since the last drift
+	// check; an unchanged dirt landscape cannot newly cross the
+	// threshold, so the check (an O(n) scan plus region extraction) is
+	// skipped entirely.
+	charged bool
+	stats   Stats
+}
+
+// New starts a daemon from an optimized valid schedule and its rates.
+// The rates are retained and mutated by rate-update ops; the schedule
+// is cloned.
+func New(s *core.Schedule, r *workload.Rates, cfg Config) (*Daemon, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("online: seed schedule invalid: %w", err)
+	}
+	d := &Daemon{
+		cfg:   cfg.withDefaults(),
+		r:     r,
+		epoch: s.Graph(),
+		dirt:  make([]float64, s.Graph().NumNodes()),
+	}
+	d.m = incremental.New(s, r)
+	d.m.OnRescue = d.onRescue
+	d.lb = lowerBound(d.epoch, r)
+	return d, nil
+}
+
+func (d *Daemon) onRescue(u, v graph.NodeID, cost float64) {
+	d.stats.Rescues++
+	d.charge(u, v, cost)
+}
+
+// charge books patch regret on both endpoints of a churned edge.
+func (d *Daemon) charge(u, v graph.NodeID, amount float64) {
+	if amount <= 0 {
+		return
+	}
+	d.dirt[u] += amount
+	d.dirt[v] += amount
+	d.charged = true
+}
+
+// Cost returns the current schedule cost (O(1), running).
+func (d *Daemon) Cost() float64 { return d.m.Cost() }
+
+// LowerBound returns the coverability lower bound of the optimal cost
+// over the live graph as of the last epoch: edges with no 2-hop
+// push/pull bracket available must pay at least their hybrid cost; all
+// others could in principle be covered for free.
+func (d *Daemon) LowerBound() float64 { return d.lb }
+
+// Drift reports how far the maintained cost sits above the epoch lower
+// bound, relative to the bound. It moves with every op (the cost is
+// running) and re-anchors at each accepted re-solve. Because the bound
+// is epoch-anchored, removals can pull the live cost below it between
+// epochs; drift is clamped at zero rather than reporting a negative
+// gap against a stale bound.
+func (d *Daemon) Drift() float64 {
+	if d.lb <= 0 {
+		return 0
+	}
+	return math.Max(0, (d.m.Cost()-d.lb)/d.lb)
+}
+
+// Stats returns the op and re-solve counters so far.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// Rates returns the live workload rates (mutated by rate-update ops).
+func (d *Daemon) Rates() *workload.Rates { return d.r }
+
+// Validate checks Theorem-1 validity of the maintained schedule over
+// the live edge set.
+func (d *Daemon) Validate() error { return d.m.Validate() }
+
+// Snapshot materializes the live graph and schedule (the maintainer is
+// unchanged).
+func (d *Daemon) Snapshot() (*graph.Graph, *core.Schedule) { return d.m.Rebase() }
+
+// NumEdges returns the live edge count.
+func (d *Daemon) NumEdges() int { return d.m.NumEdges() }
+
+// Apply ingests one churn op: patch, charge drift, and — at check
+// boundaries — re-solve any region whose accumulated dirt crossed the
+// threshold.
+func (d *Daemon) Apply(op workload.ChurnOp) error {
+	switch op.Kind {
+	case workload.OpAdd:
+		before := d.m.Cost()
+		if err := d.m.AddEdge(op.U, op.V); err != nil {
+			return err
+		}
+		d.stats.Adds++
+		// A hub-covered add costs 0 and leaves no regret; a direct add
+		// pays c* that a re-solve might cover for free.
+		d.charge(op.U, op.V, d.m.Cost()-before)
+	case workload.OpRemove:
+		if err := d.m.RemoveEdge(op.U, op.V); err != nil {
+			return err
+		}
+		d.stats.Removes++
+		// Rescue regret is charged by the hook as it happens. The
+		// removal itself only LOWERS the cost; stranded hub supports are
+		// second-order (bounded by what the hub still covers) and
+		// charging for them here drowned the real signal in
+		// unrecoverable dirt, so they are deliberately not charged.
+	case workload.OpRates:
+		oldP, oldC := d.r.Prod[op.U], d.r.Cons[op.U]
+		if err := d.m.UpdateRates(op.U, op.Prod, op.Cons); err != nil {
+			return err
+		}
+		d.stats.RateUpdates++
+		// Repricing regret scales with how much scheduled traffic the
+		// user carries; the epoch degrees are the cheap proxy.
+		regret := math.Abs(op.Prod-oldP)*float64(d.epoch.OutDegree(op.U)) +
+			math.Abs(op.Cons-oldC)*float64(d.epoch.InDegree(op.U))
+		d.charge(op.U, op.U, regret/2)
+	default:
+		return fmt.Errorf("online: unknown op kind %d", op.Kind)
+	}
+	d.stats.Ops++
+	d.sinceChk++
+	if d.sinceChk >= d.cfg.CheckEvery {
+		d.sinceChk = 0
+		d.checkDrift()
+	}
+	return nil
+}
+
+// ApplyTrace ingests a whole trace, stopping at the first error.
+func (d *Daemon) ApplyTrace(ops []workload.ChurnOp) error {
+	for i, op := range ops {
+		if err := d.Apply(op); err != nil {
+			return fmt.Errorf("online: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Serve ingests ops from a stream until it closes — the daemon loop.
+// It returns the final stats and the first error, if any.
+func (d *Daemon) Serve(ops <-chan workload.ChurnOp) (Stats, error) {
+	for op := range ops {
+		if err := d.Apply(op); err != nil {
+			return d.stats, err
+		}
+	}
+	return d.stats, nil
+}
+
+// dirtiestNode returns the node with maximum dirt (lowest id wins
+// ties), or -1 if no node carries dirt.
+func (d *Daemon) dirtiestNode() graph.NodeID {
+	best := graph.NodeID(-1)
+	bestDirt := 0.0
+	for v, amt := range d.dirt {
+		if amt > bestDirt {
+			best = graph.NodeID(v)
+			bestDirt = amt
+		}
+	}
+	return best
+}
+
+// checkDrift fires localized re-solves while the dirtiest node's k-hop
+// region has churned by more than DriftThreshold of its own hybrid cost
+// mass. Re-solving clears the region's dirt, so each pass makes strict
+// progress; the per-check cap bounds the worst-case stall.
+func (d *Daemon) checkDrift() {
+	if d.cfg.DriftThreshold < 0 {
+		return
+	}
+	if !d.charged {
+		return // no new dirt since the last check; nothing can have crossed
+	}
+	d.charged = false
+	const maxResolvesPerCheck = 4
+	if d.cfg.BudgetFraction >= 0 &&
+		float64(d.stats.RegionEdges) >= d.cfg.BudgetFraction*float64(d.m.NumEdges()) {
+		return // budget already spent; skip the region extraction entirely
+	}
+	threshold := d.cfg.DriftThreshold * float64(int64(1)<<min(d.revertStreak, 40))
+	for pass := 0; pass < maxResolvesPerCheck; pass++ {
+		seed := d.dirtiestNode()
+		if seed < 0 {
+			return
+		}
+		region := graph.KHop(d.epoch, []graph.NodeID{seed}, d.cfg.K, d.cfg.MaxRegionNodes)
+		regionDirt := 0.0
+		for _, v := range region {
+			regionDirt += d.dirt[v]
+		}
+		regionEdges := graph.InducedEdgeIDs(d.epoch, region)
+		regionCost := 0.0
+		for _, e := range regionEdges {
+			u := d.epoch.EdgeSource(e)
+			v := d.epoch.EdgeTarget(e)
+			regionCost += baseline.EdgeCost(d.r, u, v)
+		}
+		if regionDirt <= threshold*math.Max(regionCost, 1e-9) {
+			// The region around the dirtiest node has not churned enough
+			// relative to its size. Other regions could in principle have
+			// a higher dirt ratio, but the dirtiest node is the cheap
+			// deterministic proxy; they will be found once their own dirt
+			// grows.
+			return
+		}
+		if d.cfg.BudgetFraction >= 0 &&
+			float64(d.stats.RegionEdges+len(regionEdges)) > d.cfg.BudgetFraction*float64(d.m.NumEdges()) {
+			return // out of re-solve budget; keep patching incrementally
+		}
+		d.resolveRegion(region)
+		threshold = d.cfg.DriftThreshold * float64(int64(1)<<min(d.revertStreak, 40))
+	}
+}
+
+// resolveRegion rebases the live graph, re-solves the region in
+// isolation, and splices the patch in if it lowers the cost. Either
+// way the region's dirt is cleared and a fresh maintainer epoch
+// begins when the patch is accepted.
+func (d *Daemon) resolveRegion(epochNodes []graph.NodeID) {
+	liveG, liveS := d.m.Rebase()
+	// The region's NODE set was chosen on the (possibly lagging) epoch
+	// graph; its edges are extracted from the fresh live graph, so the
+	// re-solve always sees current structure.
+	nodes := epochNodes
+	regionEdges := graph.InducedEdgeIDs(liveG, nodes)
+	d.stats.RegionEdges += len(regionEdges)
+
+	// Clear the region's dirt up front: whatever the decision below,
+	// it is final for this dirt mass, and leaving it would re-trigger
+	// forever.
+	for _, v := range nodes {
+		d.dirt[v] = 0
+	}
+	if len(regionEdges) == 0 {
+		// The epoch-stale region dissolved on the live graph; no solver
+		// ran, so neither the revert counter nor the backoff should move.
+		return
+	}
+
+	oldCost := liveS.Cost(d.r)
+	var patched *core.Schedule
+	switch d.cfg.Solver {
+	case SolverNosy:
+		res := nosy.SolveRestricted(liveG, d.r, d.cfg.Nosy, liveS, regionEdges)
+		patched = res.Schedule
+		d.stats.BoundaryRepairs += res.BoundaryRepairs
+	default:
+		sub := graph.Induced(liveG, nodes)
+		patch := chitchat.SolveInduced(sub, d.r, d.cfg.ChitChat)
+		patched = liveS.Clone()
+		repairs, err := core.ApplyPatch(patched, sub, patch, d.r)
+		if err != nil {
+			patched = nil // defensive: keep the maintained schedule
+		} else {
+			d.stats.BoundaryRepairs += repairs
+		}
+	}
+	if patched != nil {
+		// The regional solver saw the region in isolation, so region
+		// edges whose free exterior coverage the extraction severed came
+		// back as direct service. The free-coverage sweep wins them back
+		// deterministically before the accept/revert decision.
+		refine.Run(patched, d.r)
+	}
+
+	if patched == nil || patched.Cost(d.r) >= oldCost {
+		d.stats.Reverted++
+		d.revertStreak++
+		return
+	}
+	d.stats.Resolves++
+	d.revertStreak = 0
+	d.m = incremental.New(patched, d.r)
+	d.m.OnRescue = d.onRescue
+	d.epoch = liveG
+	d.lb = lowerBound(liveG, d.r)
+}
+
+// lowerBound computes the coverability bound: an edge u → v whose
+// producer and consumer share no middle node w with u → w and w → v in
+// the graph can never be hub-covered, so any valid schedule pays at
+// least its hybrid cost c*(e); coverable edges are bounded below by 0.
+// One sorted-intersection pass per edge.
+func lowerBound(g *graph.Graph, r *workload.Rates) float64 {
+	total := 0.0
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if !coverable(g, u, v) {
+			total += baseline.EdgeCost(r, u, v)
+		}
+		return true
+	})
+	return total
+}
+
+// coverable reports whether some node w has both u → w and w → v.
+func coverable(g *graph.Graph, u, v graph.NodeID) bool {
+	outs := g.OutNeighbors(u) // sorted
+	ins := g.InNeighbors(v)   // sorted
+	i, j := 0, 0
+	for i < len(outs) && j < len(ins) {
+		switch {
+		case outs[i] == ins[j]:
+			if outs[i] != u && outs[i] != v {
+				return true
+			}
+			i++
+			j++
+		case outs[i] < ins[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

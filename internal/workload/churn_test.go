@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"piggyback/internal/graph"
+)
+
+func churnFixture() (*graph.Graph, *Rates) {
+	g := graph.FromEdges(20, []graph.Edge{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 2}, {From: 2, To: 3},
+		{From: 3, To: 4}, {From: 4, To: 0}, {From: 5, To: 6}, {From: 6, To: 7},
+	})
+	return g, NewUniform(20, 5)
+}
+
+// Every op must be valid at its position: adds create absent edges,
+// removes delete present ones, rates stay positive and finite.
+func TestGenerateChurnOpsValidInSequence(t *testing.T) {
+	g, r := churnFixture()
+	ops := GenerateChurn(g, r, 500, ChurnConfig{Seed: 4})
+	if len(ops) != 500 {
+		t.Fatalf("got %d ops, want 500", len(ops))
+	}
+	live := make(map[graph.Edge]bool)
+	for _, e := range g.EdgeList() {
+		live[e] = true
+	}
+	var adds, removes, rates int
+	for i, op := range ops {
+		switch op.Kind {
+		case OpAdd:
+			e := graph.Edge{From: op.U, To: op.V}
+			if op.U == op.V || live[e] {
+				t.Fatalf("op %d: invalid add %v", i, op)
+			}
+			live[e] = true
+			adds++
+		case OpRemove:
+			e := graph.Edge{From: op.U, To: op.V}
+			if !live[e] {
+				t.Fatalf("op %d: remove of absent edge %v", i, op)
+			}
+			delete(live, e)
+			removes++
+		case OpRates:
+			if op.Prod <= 0 || op.Cons <= 0 {
+				t.Fatalf("op %d: non-positive rates %v", i, op)
+			}
+			rates++
+		default:
+			t.Fatalf("op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	if adds == 0 || removes == 0 || rates == 0 {
+		t.Fatalf("degenerate mix: adds=%d removes=%d rates=%d", adds, removes, rates)
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	g, r := churnFixture()
+	a := GenerateChurn(g, r, 200, ChurnConfig{Seed: 11})
+	b := GenerateChurn(g, r, 200, ChurnConfig{Seed: 11})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := GenerateChurn(g, r, 200, ChurnConfig{Seed: 12})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateChurnDoesNotMutateInputs(t *testing.T) {
+	g, r := churnFixture()
+	prod := append([]float64(nil), r.Prod...)
+	_ = GenerateChurn(g, r, 300, ChurnConfig{Seed: 5})
+	if !reflect.DeepEqual(prod, r.Prod) {
+		t.Fatal("generator mutated the input rates")
+	}
+}
+
+func TestProjectRates(t *testing.T) {
+	r := &Rates{Prod: []float64{1, 2, 3, 4}, Cons: []float64{5, 6, 7, 8}}
+	p := r.Project([]graph.NodeID{3, 1})
+	if !reflect.DeepEqual(p.Prod, []float64{4, 2}) || !reflect.DeepEqual(p.Cons, []float64{8, 6}) {
+		t.Fatalf("Project = %+v", p)
+	}
+}

@@ -116,6 +116,22 @@ func (r *Rates) WithRatio(readWriteRatio float64) *Rates {
 	return out
 }
 
+// Project returns the rates restricted to the given nodes, indexed by
+// position: result user i carries the rates of nodes[i]. This is how a
+// subgraph re-solve (graph.Induced) sees the global workload — local
+// node ids map through the subgraph's Global slice.
+func (r *Rates) Project(nodes []graph.NodeID) *Rates {
+	out := &Rates{
+		Prod: make([]float64, len(nodes)),
+		Cons: make([]float64, len(nodes)),
+	}
+	for i, u := range nodes {
+		out.Prod[i] = r.Prod[u]
+		out.Cons[i] = r.Cons[u]
+	}
+	return out
+}
+
 // N returns the number of users covered by the rates.
 func (r *Rates) N() int { return len(r.Prod) }
 

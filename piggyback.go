@@ -38,6 +38,7 @@ import (
 	"piggyback/internal/incremental"
 	"piggyback/internal/nosy"
 	"piggyback/internal/nosymr"
+	"piggyback/internal/online"
 	"piggyback/internal/partition"
 	"piggyback/internal/refine"
 	"piggyback/internal/sampling"
@@ -175,11 +176,95 @@ type RefineResult = refine.Result
 func Refine(s *Schedule, r *Rates) RefineResult { return refine.Run(s, r) }
 
 // Maintainer applies incremental graph updates (§3.3) to an optimized
-// schedule without re-running the optimizer.
+// schedule without re-running the optimizer: new edges are covered for
+// free through existing hubs when possible, rescued coverage migrates to
+// alternative hubs, and the running Cost() is O(1).
 type Maintainer = incremental.Maintainer
 
 // NewMaintainer wraps an optimized schedule for incremental maintenance.
 func NewMaintainer(s *Schedule, r *Rates) *Maintainer { return incremental.New(s, r) }
+
+// Subgraph is a node-induced subgraph with its ID remapping, for
+// localized re-optimization.
+type Subgraph = graph.Subgraph
+
+// InducedSubgraph extracts the subgraph induced by the given nodes with
+// dense local IDs.
+func InducedSubgraph(g *Graph, nodes []NodeID) *Subgraph { return graph.Induced(g, nodes) }
+
+// KHopNeighborhood returns the nodes within k undirected hops of the
+// seeds (sorted; maxNodes > 0 caps the result deterministically).
+func KHopNeighborhood(g *Graph, seeds []NodeID, k, maxNodes int) []NodeID {
+	return graph.KHop(g, seeds, k, maxNodes)
+}
+
+// ChitChatInduced re-solves an extracted region with CHITCHAT under the
+// global rates projected through the subgraph mapping, returning a patch
+// schedule over sub.G for ApplySchedulePatch.
+func ChitChatInduced(sub *Subgraph, r *Rates, cfg ChitChatConfig) *Schedule {
+	return chitchat.SolveInduced(sub, r, cfg)
+}
+
+// ParallelNosyRestricted re-optimizes only the given region edges of g,
+// starting from a valid base schedule — the localized re-solve entry
+// point. Edges outside the region keep their assignment (boundary
+// coverage may gain support flags); the result is valid and identical
+// for every worker count.
+func ParallelNosyRestricted(g *Graph, r *Rates, cfg NosyConfig, base *Schedule, region []EdgeID) (*Schedule, []NosyIteration) {
+	res := nosy.SolveRestricted(g, r, cfg, base, region)
+	return res.Schedule, res.Iterations
+}
+
+// ApplySchedulePatch splices a re-solved region patch (a schedule over
+// sub.G) into s atomically, repairing boundary coverage; it returns the
+// number of boundary repairs.
+func ApplySchedulePatch(s *Schedule, sub *Subgraph, patch *Schedule, r *Rates) (int, error) {
+	return core.ApplyPatch(s, sub, patch, r)
+}
+
+// ChurnOp is one graph/workload update in a churn stream.
+type ChurnOp = workload.ChurnOp
+
+// Churn op kinds.
+const (
+	OpAdd    = workload.OpAdd
+	OpRemove = workload.OpRemove
+	OpRates  = workload.OpRates
+)
+
+// ChurnConfig tunes the synthetic churn-trace generator.
+type ChurnConfig = workload.ChurnConfig
+
+// GenerateChurn synthesizes a deterministic churn trace against the
+// live edge set starting at g.
+func GenerateChurn(g *Graph, r *Rates, n int, cfg ChurnConfig) []ChurnOp {
+	return workload.GenerateChurn(g, r, n, cfg)
+}
+
+// OnlineConfig tunes the online rescheduling daemon.
+type OnlineConfig = online.Config
+
+// OnlineDaemon ingests a churn stream, tracks cost drift against a
+// coverability lower bound, and wins quality back with localized
+// re-solves spliced atomically into the live schedule.
+type OnlineDaemon = online.Daemon
+
+// OnlineStats counts daemon activity (ops, rescues, re-solves, region
+// sizes).
+type OnlineStats = online.Stats
+
+// Online solver kinds for localized re-solves.
+const (
+	OnlineSolverChitChat = online.SolverChitChat
+	OnlineSolverNosy     = online.SolverNosy
+)
+
+// NewOnlineDaemon starts an online rescheduling daemon from an
+// optimized valid schedule. The rates are retained and mutated by
+// rate-update ops.
+func NewOnlineDaemon(s *Schedule, r *Rates, cfg OnlineConfig) (*OnlineDaemon, error) {
+	return online.New(s, r, cfg)
+}
 
 // SampleResult is a sampled subgraph with its node mapping.
 type SampleResult = sampling.Result
