@@ -12,21 +12,22 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"piggyback/internal/baseline"
-	"piggyback/internal/chitchat"
 	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/graphgen"
 	"piggyback/internal/graphio"
 	"piggyback/internal/netstore"
-	"piggyback/internal/nosy"
 	"piggyback/internal/schedio"
+	"piggyback/internal/solver"
 	"piggyback/internal/stats"
 	"piggyback/internal/store"
 	"piggyback/internal/workload"
@@ -38,7 +39,7 @@ func main() {
 		schedPath = flag.String("sched", "", "schedule file from schedio (default: compute with -algo)")
 		nodes     = flag.Int("nodes", 2000, "nodes for the generated graph")
 		seed      = flag.Int64("seed", 1, "seed for generation, workload and placement")
-		algo      = flag.String("algo", "nosy", "schedule algorithm: nosy | chitchat | hybrid")
+		algo      = flag.String("algo", "nosy", "schedule algorithm: "+strings.Join(solver.Names(), " | "))
 		ratio     = flag.Float64("ratio", workload.DefaultReadWriteRatio, "read/write ratio")
 		servers   = flag.Int("servers", 8, "TCP data-store servers")
 		clients   = flag.Int("clients", 8, "concurrent client connections")
@@ -155,16 +156,15 @@ func loadOrCompute(path string, g *graph.Graph, r *workload.Rates, algo string) 
 		}
 		return s
 	}
-	switch algo {
-	case "nosy":
-		return nosy.Solve(g, r, nosy.Config{}).Schedule
-	case "chitchat":
-		return chitchat.Solve(g, r, chitchat.Config{})
-	case "hybrid":
-		return baseline.Hybrid(g, r)
+	sv, err := solver.New(algo, solver.Options{})
+	if err != nil {
+		fatalf("%v", err)
 	}
-	fatalf("unknown algorithm %q", algo)
-	return nil
+	res, err := sv.Solve(context.Background(), solver.Problem{Graph: g, Rates: r})
+	if err != nil {
+		fatalf("solving: %v", err)
+	}
+	return res.Schedule
 }
 
 func fatalf(format string, args ...any) {

@@ -3,19 +3,29 @@
 // coverability lower bound, localized re-solve activity, and the final
 // gap to a from-scratch re-optimization of the churned graph.
 //
+// With -serve it additionally runs the prototype view-store cluster:
+// the daemon's accepted re-solves swap the cluster's live schedule
+// (store.Cluster.Swap), demoing serving + rescheduling end to end, and
+// the throughput of the initial vs. final schedule is measured.
+//
 //	go run ./cmd/online -nodes 2000 -ops 5000 -solver chitchat
+//	go run ./cmd/online -nodes 1000 -ops 3000 -serve -servers 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"piggyback/internal/baseline"
 	"piggyback/internal/chitchat"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
 	"piggyback/internal/graphgen"
-	"piggyback/internal/nosy"
 	"piggyback/internal/online"
+	"piggyback/internal/solver"
+	"piggyback/internal/store"
 	"piggyback/internal/workload"
 )
 
@@ -23,33 +33,38 @@ func main() {
 	nodes := flag.Int("nodes", 2000, "graph size (Flickr-like shape)")
 	ops := flag.Int("ops", 5000, "churn trace length")
 	seed := flag.Int64("seed", 42, "graph and trace seed")
-	solver := flag.String("solver", "chitchat", "localized re-solver: chitchat | nosy")
+	solverName := flag.String("solver", "chitchat", "localized re-solver: any registered solver supporting regions")
 	threshold := flag.Float64("threshold", 0, "drift threshold (0 = default)")
 	k := flag.Int("k", 0, "region hop radius (0 = default)")
 	maxRegion := flag.Int("maxregion", 0, "region node cap (0 = default)")
 	every := flag.Int("every", 0, "ops between drift checks (0 = default)")
 	workers := flag.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
+	budget := flag.Duration("budget", 0, "wall-clock budget per localized re-solve (0 = none)")
 	report := flag.Int("report", 1000, "ops between progress lines")
 	addFrac := flag.Float64("adds", 0, "fraction of ops that add edges (0 = default)")
 	rmFrac := flag.Float64("removes", 0, "fraction of ops that remove edges (0 = default)")
+	serve := flag.Bool("serve", false, "run a live view-store cluster; accepted re-solves swap its schedule")
+	servers := flag.Int("servers", 8, "view-store servers (with -serve)")
 	flag.Parse()
 
+	// One code path for algorithm selection: the registry. Any solver
+	// that supports Problem.Region can drive the daemon's re-solves.
+	regional, err := solver.New(*solverName, solver.Options{Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !solver.SupportsRegions(regional) {
+		fmt.Fprintf(os.Stderr, "-solver %s cannot re-solve regions (region-capable: chitchat, nosy)\n", *solverName)
+		os.Exit(2)
+	}
 	cfg := online.Config{
 		K:              *k,
 		DriftThreshold: *threshold,
 		CheckEvery:     *every,
 		MaxRegionNodes: *maxRegion,
-		ChitChat:       chitchat.Config{Workers: *workers},
-		Nosy:           nosy.Config{Workers: *workers},
-	}
-	switch *solver {
-	case "chitchat":
-		cfg.Solver = online.SolverChitChat
-	case "nosy":
-		cfg.Solver = online.SolverNosy
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -solver %q\n", *solver)
-		os.Exit(2)
+		Regional:       regional,
+		ResolveTimeout: *budget,
 	}
 
 	g := graphgen.Social(graphgen.FlickrLike(*nodes, *seed))
@@ -66,12 +81,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// -serve: the store tier executes the live schedule; every accepted
+	// splice goes live via an atomic plan swap, no drain needed.
+	var cluster *store.Cluster
+	swaps := 0
+	if *serve {
+		cluster, err = store.NewCluster(init, store.Options{Servers: *servers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		d.OnSplice = func(_ *graph.Graph, s *core.Schedule) {
+			if err := cluster.Swap(s); err != nil {
+				fmt.Fprintf(os.Stderr, "swap: %v\n", err)
+				return
+			}
+			swaps++
+		}
+		fmt.Printf("serving: %d view-store servers executing the live schedule\n", *servers)
+		fmt.Printf("initial throughput: %.0f req/s/client\n", measure(cluster, r, *seed))
+	}
+
 	fmt.Printf("initial: cost %.1f, lower bound %.1f, drift %.3f\n\n",
 		d.Cost(), d.LowerBound(), d.Drift())
 	fmt.Printf("%8s %12s %8s %9s %9s %12s\n",
 		"ops", "cost", "drift", "resolves", "reverted", "region edges")
+	ctx := context.Background()
 	for i, op := range trace {
-		if err := d.Apply(op); err != nil {
+		if err := d.ApplyCtx(ctx, op); err != nil {
 			fmt.Fprintf(os.Stderr, "op %d: %v\n", i, err)
 			os.Exit(1)
 		}
@@ -100,4 +139,23 @@ func main() {
 		st.Resolves, st.Reverted, st.Rescues)
 	fmt.Printf("region edges re-solved: %d (%.1f%% of final live edges)\n",
 		st.RegionEdges, 100*float64(st.RegionEdges)/float64(liveG.NumEdges()))
+	if *serve {
+		// The cluster now executes the last accepted splice; swap in the
+		// final maintained snapshot so the measurement reflects the
+		// daemon's end state exactly.
+		if err := cluster.Swap(liveS); err != nil {
+			fmt.Fprintf(os.Stderr, "final swap: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving: %d live schedule swaps during the trace\n", swaps)
+		fmt.Printf("final throughput: %.0f req/s/client (schedule swapped without draining)\n",
+			measure(cluster, d.Rates(), *seed))
+	}
+}
+
+// measure replays a short sampled trace and reports per-client
+// throughput on the cluster's current plan.
+func measure(c *store.Cluster, r *workload.Rates, seed int64) float64 {
+	t := store.GenerateTrace(r, 4000, seed)
+	return store.MeasureThroughput(c, t, 4).PerClientRate
 }

@@ -1,38 +1,48 @@
 // Command schedule computes a request schedule for a social graph and
-// reports its cost against the baselines.
+// reports its cost against the baselines. Algorithms are selected by
+// name from the solver registry, run under a cancellable context
+// (Ctrl-C or -timeout returns the best-so-far valid schedule), and
+// report live progress with -progress.
 //
 // Usage:
 //
 //	schedule -graph twitter.graph -algo nosy -ratio 5
-//	graphgen -preset flickr -nodes 2000 | schedule -algo chitchat
+//	graphgen -preset flickr -nodes 2000 | schedule -algo chitchat -progress
+//	schedule -graph big.graph -algo nosy -timeout 30s
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
+	"strings"
+	"time"
 
 	"piggyback/internal/baseline"
-	"piggyback/internal/chitchat"
-	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/graphio"
-	"piggyback/internal/nosy"
-	"piggyback/internal/nosymr"
 	"piggyback/internal/schedio"
+	"piggyback/internal/solver"
 	"piggyback/internal/workload"
 )
 
 func main() {
 	var (
-		path  = flag.String("graph", "", "graph file (binary or text; default stdin, binary)")
-		text  = flag.Bool("text", false, "graph file is in text format")
-		algo  = flag.String("algo", "nosy", "algorithm: nosy | nosymr | chitchat | hybrid | pushall | pullall")
-		ratio = flag.Float64("ratio", workload.DefaultReadWriteRatio, "read/write ratio for the log-degree workload")
-		iters = flag.Bool("iters", false, "print per-iteration stats (nosy/nosymr)")
-		out   = flag.String("o", "", "save the schedule (schedio format) for cmd/feedstore")
+		path     = flag.String("graph", "", "graph file (binary or text; default stdin, binary)")
+		text     = flag.Bool("text", false, "graph file is in text format")
+		algo     = flag.String("algo", "nosy", "algorithm: "+strings.Join(solver.Names(), " | "))
+		ratio    = flag.Float64("ratio", workload.DefaultReadWriteRatio, "read/write ratio for the log-degree workload")
+		workers  = flag.Int("workers", 0, "solver parallelism (0 = all cores)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far valid schedule is reported")
+		progress = flag.Bool("progress", false, "print live per-iteration progress")
+		iters    = flag.Bool("iters", false, "trace finalized cost per iteration (implies -progress; nosy/nosymr)")
+		out      = flag.String("o", "", "save the schedule (schedio format) for cmd/feedstore")
 	)
 	flag.Parse()
 
@@ -42,47 +52,49 @@ func main() {
 	}
 	r := workload.LogDegree(g, *ratio)
 
-	var s *core.Schedule
-	var trace []nosy.IterationStat
-	switch *algo {
-	case "nosy":
-		res := nosy.Solve(g, r, nosy.Config{TraceCosts: *iters})
-		s, trace = res.Schedule, res.Iterations
-	case "nosymr":
-		res := nosymr.Solve(g, r, nosy.Config{TraceCosts: *iters})
-		s, trace = res.Schedule, res.Iterations
-	case "chitchat":
-		s = chitchat.Solve(g, r, chitchat.Config{})
-	case "hybrid":
-		s = baseline.Hybrid(g, r)
-	case "pushall":
-		s = baseline.PushAll(g)
-	case "pullall":
-		s = baseline.PullAll(g)
-	default:
-		fatalf("unknown algorithm %q", *algo)
+	opts := solver.Options{Workers: *workers, TraceCosts: *iters}
+	if *progress || *iters {
+		opts.Progress = printProgress
 	}
+	sv, err := solver.New(*algo, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Ctrl-C and -timeout both cancel the solve; the anytime contract
+	// still hands us a valid schedule to report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := sv.Solve(ctx, solver.Problem{Graph: g, Rates: r})
+	if err != nil && res == nil {
+		fatalf("solving: %v", err)
+	}
+	s := res.Schedule
 
 	if err := s.Validate(); err != nil {
 		fatalf("schedule invalid: %v", err)
 	}
-	cost := s.Cost(r)
 	hybrid := baseline.HybridCost(g, r)
 	counts := s.Counts()
 	fmt.Printf("graph:        %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-	fmt.Printf("algorithm:    %s (read/write ratio %.1f)\n", *algo, *ratio)
-	fmt.Printf("cost:         %.1f\n", cost)
+	fmt.Printf("algorithm:    %s (read/write ratio %.1f, %v)\n", res.Report.Solver, *ratio, time.Since(start).Round(time.Millisecond))
+	if res.Report.Canceled {
+		fmt.Printf("NOTE:         solve canceled after %d iterations (%v); schedule is valid best-so-far\n",
+			res.Report.Iterations, err)
+	}
+	fmt.Printf("cost:         %.1f\n", res.Report.Cost)
 	fmt.Printf("hybrid cost:  %.1f\n", hybrid)
-	fmt.Printf("improvement:  %.3fx\n", hybrid/cost)
+	fmt.Printf("improvement:  %.3fx\n", hybrid/res.Report.Cost)
 	fmt.Printf("push edges:   %d\n", counts.Push)
 	fmt.Printf("pull edges:   %d\n", counts.Pull)
 	fmt.Printf("hub-covered:  %d\n", counts.Covered)
-	if *iters {
-		for i, it := range trace {
-			fmt.Printf("iteration %2d: candidates=%d commits=%d+%d covered=%d cost=%.1f\n",
-				i+1, it.Candidates, it.FullCommits, it.PartialCommits, it.CoveredEdges, it.Cost)
-		}
-	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -93,6 +105,29 @@ func main() {
 			fatalf("saving schedule: %v", err)
 		}
 		fmt.Printf("schedule saved to %s\n", *out)
+	}
+}
+
+// printProgress renders one live line per event: iteration stats for
+// the round-based solvers, a sampled coverage line for CHITCHAT's
+// per-commit stream.
+func printProgress(ev solver.ProgressEvent) {
+	switch ev.Solver {
+	case solver.ChitChat:
+		// One line every 1024 commits plus the final one keeps the
+		// stream readable on large graphs.
+		if ev.Iteration%1024 != 0 && ev.Remaining != 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "commit %7d: covered=%d remaining=%d\n",
+			ev.Iteration, ev.Covered, ev.Remaining)
+	default:
+		line := fmt.Sprintf("iteration %3d: dirty=%d candidates=%d commits=%d+%d covered=%d",
+			ev.Iteration+1, ev.Dirty, ev.Candidates, ev.FullCommits, ev.PartialCommits, ev.CoveredEdges)
+		if !math.IsNaN(ev.Cost) {
+			line += fmt.Sprintf(" cost=%.1f", ev.Cost)
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 
@@ -107,7 +142,11 @@ func loadGraph(path string, text bool) (*graph.Graph, error) {
 		r = bufio.NewReader(f)
 	}
 	if text {
-		return graphio.ReadText(r)
+		g, err := graphio.ReadText(r)
+		if errors.Is(err, graph.ErrEdgeOutOfRange) {
+			err = fmt.Errorf("%w (is the node count header right?)", err)
+		}
+		return g, err
 	}
 	return graphio.ReadBinary(r)
 }

@@ -14,8 +14,8 @@ import (
 func main() {
 	g := piggyback.FlickrLikeGraph(2500, 11)
 	r := piggyback.LogDegreeRates(g, 5)
-	pn, _ := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
-	ff := piggyback.Hybrid(g, r)
+	pn := piggyback.MustSolve("nosy", g, r)
+	ff := piggyback.MustSolve("hybrid", g, r)
 
 	fmt.Printf("%8s  %14s  %14s  %8s  %s\n",
 		"servers", "PN throughput", "FF throughput", "ratio", "recommendation")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -25,7 +26,19 @@ func main() {
 
 	g := piggyback.FlickrLikeGraph(nodes, 1)
 	r := piggyback.LogDegreeRates(g, 5)
-	sched := piggyback.ChitChat(g, r, piggyback.ChitChatConfig{})
+
+	// Seed schedule and localized re-solver both come from the solver
+	// registry — the one code path for algorithm selection.
+	cc, err := piggyback.NewSolver("chitchat", piggyback.Options{})
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+	seedRes, err := cc.Solve(ctx, piggyback.Problem{Graph: g, Rates: r})
+	if err != nil {
+		panic(err)
+	}
+	sched := seedRes.Schedule
 	trace := piggyback.GenerateChurn(g, r, ops, piggyback.ChurnConfig{Seed: 1})
 
 	// A lower threshold and small regions make the localized re-solves
@@ -38,6 +51,7 @@ func main() {
 	d, err := piggyback.NewOnlineDaemon(sched, r, piggyback.OnlineConfig{
 		DriftThreshold: 0.05,
 		MaxRegionNodes: maxRegion,
+		Regional:       cc,
 	})
 	if err != nil {
 		panic(err)
@@ -47,7 +61,7 @@ func main() {
 
 	fmt.Printf("%8s %12s %8s %10s %10s\n", "ops", "cost", "drift", "re-solves", "rescues")
 	for i, op := range trace {
-		if err := d.Apply(op); err != nil {
+		if err := d.ApplyCtx(ctx, op); err != nil {
 			panic(err)
 		}
 		if (i+1)%(ops/4) == 0 {
@@ -63,7 +77,11 @@ func main() {
 	// How good is the maintained schedule, really? Re-solve the churned
 	// graph from scratch and compare.
 	liveG, _ := d.Snapshot()
-	fresh := piggyback.ChitChat(liveG, d.Rates(), piggyback.ChitChatConfig{})
+	freshRes, err := cc.Solve(ctx, piggyback.Problem{Graph: liveG, Rates: d.Rates()})
+	if err != nil {
+		panic(err)
+	}
+	fresh := freshRes.Schedule
 	st := d.Stats()
 	fmt.Printf("\nfinal: %d live edges after %d adds / %d removes / %d rate updates\n",
 		liveG.NumEdges(), st.Adds, st.Removes, st.RateUpdates)

@@ -13,8 +13,8 @@ import (
 func main() {
 	g := piggyback.FlickrLikeGraph(1500, 7)
 	r := piggyback.LogDegreeRates(g, 5)
-	pn, _ := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
-	ff := piggyback.Hybrid(g, r)
+	pn := piggyback.MustSolve("nosy", g, r)
+	ff := piggyback.MustSolve("hybrid", g, r)
 
 	// Demonstrate end-to-end delivery through a hub: find a covered edge
 	// and show the consumer sees the producer's event after one round.

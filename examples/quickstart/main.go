@@ -1,9 +1,13 @@
-// Quickstart: generate a social graph, compute schedules with every
-// algorithm, and compare their predicted throughput cost.
+// Quickstart: generate a social graph and run EVERY registered solver
+// on it through the Solver API — one code path, live progress, and a
+// wall-clock budget that still yields a valid schedule when it fires.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"piggyback"
 )
@@ -13,32 +17,36 @@ func main() {
 	// read/write ratio of 5.
 	g := piggyback.TwitterLikeGraph(2000, 42)
 	r := piggyback.LogDegreeRates(g, 5)
-	fmt.Printf("graph: %d users, %d follow edges\n\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("graph: %d users, %d follow edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("registered solvers: %v\n\n", piggyback.Solvers())
 
-	type entry struct {
-		name string
-		s    *piggyback.Schedule
-	}
-	pn, iters := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
-	schedules := []entry{
-		{"push-all", piggyback.PushAll(g)},
-		{"pull-all", piggyback.PullAll(g)},
-		{"hybrid (FeedingFrenzy)", piggyback.Hybrid(g, r)},
-		{"ParallelNosy", pn},
-		{"ChitChat", piggyback.ChitChat(g, r, piggyback.ChitChatConfig{})},
-	}
+	// Every solve gets a generous deadline; if it fired, the result is
+	// still a valid best-so-far schedule (anytime semantics).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
 
 	hybridCost := piggyback.HybridCost(g, r)
-	fmt.Printf("%-24s %12s %8s %8s %8s %8s\n",
-		"schedule", "cost", "vs-FF", "pushes", "pulls", "hubs")
-	for _, e := range schedules {
-		if err := e.s.Validate(); err != nil {
+	fmt.Printf("%-10s %12s %8s %8s %8s %8s  %s\n",
+		"solver", "cost", "vs-FF", "pushes", "pulls", "hubs", "iterations")
+	for _, name := range piggyback.Solvers() {
+		sv, err := piggyback.NewSolver(name, piggyback.Options{})
+		if err != nil {
+			panic(err)
+		}
+		res, err := sv.Solve(ctx, piggyback.Problem{Graph: g, Rates: r})
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			panic(err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
 			panic(err) // every schedule must satisfy bounded staleness
 		}
-		c := e.s.Counts()
-		fmt.Printf("%-24s %12.1f %8.3f %8d %8d %8d\n",
-			e.name, e.s.Cost(r), hybridCost/e.s.Cost(r), c.Push, c.Pull, c.Covered)
+		c := res.Schedule.Counts()
+		note := ""
+		if res.Report.Canceled {
+			note = " (deadline hit — best-so-far)"
+		}
+		fmt.Printf("%-10s %12.1f %8.3f %8d %8d %8d  %d%s\n",
+			name, res.Report.Cost, hybridCost/res.Report.Cost,
+			c.Push, c.Pull, c.Covered, res.Report.Iterations, note)
 	}
-
-	fmt.Printf("\nParallelNosy converged in %d iterations\n", len(iters))
 }

@@ -42,6 +42,7 @@
 package chitchat
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -91,6 +92,19 @@ type Config struct {
 	// re-peel of the (unchanged) instance, so the cap trades memory for
 	// re-peels, never correctness.
 	MemberCacheCap int
+	// OnProgress, when non-nil, streams a Progress snapshot after every
+	// greedy commit. The callback runs on the solve goroutine; it must
+	// not mutate solver inputs and should return quickly.
+	OnProgress func(Progress)
+}
+
+// Progress is the solve-progress snapshot streamed to Config.OnProgress
+// after each greedy commit.
+type Progress struct {
+	Commits    int // greedy commits so far (hubs + singletons)
+	HubCommits int // hub commits among them
+	Covered    int // ground-set edges served so far
+	Remaining  int // ground-set edges still unserved
 }
 
 // DefaultMaxCrossEdges matches the bound used for the Twitter runs in §4.2.
@@ -131,6 +145,18 @@ var (
 // always valid (Theorem 1): every edge is pushed, pulled, or covered
 // through a hub.
 func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
+	s, _ := SolveCtx(context.Background(), g, r, cfg)
+	return s
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// once per greedy commit (iteration granularity — no per-edge overhead),
+// and on cancellation the solve stops where it is, serves every still-
+// uncovered edge directly via the hybrid rule (the FEEDINGFRENZY
+// finalization), and returns the best-so-far schedule together with the
+// context's error. The returned schedule is always Theorem-1 valid, even
+// when err != nil — CHITCHAT is an anytime solver under this contract.
+func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config) (*core.Schedule, error) {
 	if cfg.MaxCrossEdges == 0 {
 		cfg.MaxCrossEdges = DefaultMaxCrossEdges
 	}
@@ -147,7 +173,7 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 	m := g.NumEdges()
 	s := core.NewSchedule(g)
 	if m == 0 {
-		return s
+		return s, nil
 	}
 
 	workers := cfg.Workers
@@ -199,7 +225,15 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 	}
 	sv.q.PushBatch(ids, prios)
 
+	var cause error
 	for sv.remaining > 0 && sv.q.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			// Canceled mid-solve: stop here; the Finalize below serves
+			// everything still uncovered at the hybrid cost, so the
+			// partial greedy prefix is still a valid schedule.
+			cause = err
+			break
+		}
 		id, _ := sv.q.Min()
 		if id >= n {
 			// Singleton edge: ratio never changes; skip if already covered.
@@ -209,6 +243,7 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 				continue
 			}
 			sv.commitSingleton(e)
+			sv.noteCommit(false)
 			continue
 		}
 		w := graph.NodeID(id)
@@ -218,6 +253,7 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 			// it is the greedy choice. Commit it.
 			sv.q.PopMin()
 			sv.commitHub(w)
+			sv.noteCommit(true)
 			continue
 		}
 		sv.refreshHead()
@@ -236,10 +272,11 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 		}
 		cacheObserver(st)
 	}
-	// Defensive: schedule anything left (cannot happen — singletons cover
-	// every edge — but Finalize keeps the invariant obvious).
+	// Serve anything left directly: on the normal path this is defensive
+	// (singletons cover every edge); on the cancellation path it is the
+	// hybrid-rule finalization that makes the partial solve valid.
 	s.Finalize(r)
-	return s
+	return s, cause
 }
 
 // SolveInduced is the restricted entry point for localized
@@ -249,7 +286,32 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) *core.Schedule {
 // guarantee (Theorem 4) applies to the region in isolation; the splice
 // validity is argued at core.ApplyPatch.
 func SolveInduced(sub *graph.Subgraph, r *workload.Rates, cfg Config) *core.Schedule {
-	return Solve(sub.G, r.Project(sub.Global), cfg)
+	s, _ := SolveInducedCtx(context.Background(), sub, r, cfg)
+	return s
+}
+
+// SolveInducedCtx is SolveInduced with the cancellation contract of
+// SolveCtx: the returned patch is always valid over sub.G, and a non-nil
+// error means the greedy ran only partially before the context fired.
+func SolveInducedCtx(ctx context.Context, sub *graph.Subgraph, r *workload.Rates, cfg Config) (*core.Schedule, error) {
+	return SolveCtx(ctx, sub.G, r.Project(sub.Global), cfg)
+}
+
+// noteCommit bumps the progress counters after a greedy commit and
+// streams a snapshot to Config.OnProgress when set.
+func (sv *solver) noteCommit(hub bool) {
+	sv.commits++
+	if hub {
+		sv.hubCommits++
+	}
+	if sv.cfg.OnProgress != nil {
+		sv.cfg.OnProgress(Progress{
+			Commits:    sv.commits,
+			HubCommits: sv.hubCommits,
+			Covered:    sv.g.NumEdges() - sv.remaining,
+			Remaining:  sv.remaining,
+		})
+	}
 }
 
 // solver carries the shared solve state. Oracle evaluations (evalHub) are
@@ -287,6 +349,10 @@ type solver struct {
 	fresh    []bool
 	freshVal []hubVal
 	mcache   memberCache
+
+	// Progress counters for Config.OnProgress.
+	commits    int
+	hubCommits int
 
 	memb     []bool // member marks, sized to the largest instance
 	batchIDs []graph.NodeID

@@ -15,13 +15,13 @@ package densest
 // ZeroWeight must not run concurrently with anything else.
 type Decremental struct {
 	n      int
-	weight []float64   // current node weights (zeroed as costs are paid)
-	edges  [][2]int32  // all materialized edges, dead ones included
-	off    []int32     // CSR offsets, len n+1
-	adj    []int32     // incident edge indices, len 2*len(edges)
-	deg    []int32     // live degree per node
-	alive  []bool      // per materialized edge: element still present
-	live   int         // number of live edges
+	weight []float64  // current node weights (zeroed as costs are paid)
+	edges  [][2]int32 // all materialized edges, dead ones included
+	off    []int32    // CSR offsets, len n+1
+	adj    []int32    // incident edge indices, len 2*len(edges)
+	deg    []int32    // live degree per node
+	alive  []bool     // per materialized edge: element still present
+	live   int        // number of live edges
 }
 
 // NewDecremental materializes inst. The instance data is copied; later

@@ -19,10 +19,17 @@
 package densest
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"piggyback/internal/pq"
 )
+
+// ErrInstanceTooLarge is the panic value (wrapped) raised when Exact is
+// asked to enumerate an instance with more than 24 nodes. The public
+// solver API recovers it and surfaces it as a returned error.
+var ErrInstanceTooLarge = errors.New("densest: exact oracle instance too large (N > 24)")
 
 // Instance is an undirected multigraph with weighted nodes. Parallel
 // edges are allowed (they never arise in CHITCHAT's hub-graphs but cost
@@ -267,7 +274,7 @@ func Exact(inst Instance, sc *Scratch) Result {
 	n := inst.N
 	if n == 0 || n > 24 {
 		if n > 24 {
-			panic("densest: Exact instance too large")
+			panic(fmt.Errorf("%w: N=%d", ErrInstanceTooLarge, n))
 		}
 		return Result{}
 	}

@@ -10,9 +10,15 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrEdgeOutOfRange reports an edge whose endpoint is outside the
+// builder's node range. Builder.AddEdge panics with an error wrapping it;
+// Builder.TryAddEdge returns it.
+var ErrEdgeOutOfRange = errors.New("graph: edge endpoint out of range")
 
 // NodeID identifies a user/node. Nodes are dense: 0..NumNodes()-1.
 type NodeID = int32
@@ -50,17 +56,30 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n}
 }
 
-// AddEdge records the edge u → v (v subscribes to u). Out-of-range node ids
-// panic; self-loops are silently ignored (a user's own view always carries
-// the user's events — the cost of serving oneself is implicit in the model).
+// AddEdge records the edge u → v (v subscribes to u). Out-of-range node
+// ids panic with an error wrapping ErrEdgeOutOfRange (the solver API
+// recovers it into a returned error; use TryAddEdge to handle it at the
+// call site); self-loops are silently ignored (a user's own view always
+// carries the user's events — the cost of serving oneself is implicit in
+// the model).
 func (b *Builder) AddEdge(u, v NodeID) {
+	if err := b.TryAddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// TryAddEdge is AddEdge with an error return instead of a panic: it
+// reports an error wrapping ErrEdgeOutOfRange when an endpoint is outside
+// [0, n).
+func (b *Builder) TryAddEdge(u, v NodeID) error {
 	if int(u) < 0 || int(u) >= b.n || int(v) < 0 || int(v) >= b.n {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+		return fmt.Errorf("%w: edge (%d,%d) outside [0,%d)", ErrEdgeOutOfRange, u, v, b.n)
 	}
 	if u == v {
-		return
+		return nil
 	}
 	b.edges = append(b.edges, Edge{u, v})
+	return nil
 }
 
 // NumPending returns the number of edges added so far (before dedup).

@@ -66,7 +66,7 @@ func ReadText(r io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("graphio: line %d: bad edge %q", line, text)
 		}
 		if err := addChecked(b, graph.NodeID(u), graph.NodeID(v)); err != nil {
-			return nil, fmt.Errorf("graphio: line %d: %v", line, err)
+			return nil, fmt.Errorf("graphio: line %d: %w", line, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -78,14 +78,10 @@ func ReadText(r io.Reader) (*graph.Graph, error) {
 	return b.Build(), nil
 }
 
-func addChecked(b *graph.Builder, u, v graph.NodeID) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
-		}
-	}()
-	b.AddEdge(u, v)
-	return nil
+// addChecked adds an edge, reporting the typed graph.ErrEdgeOutOfRange
+// for bad endpoints instead of panicking (file input is untrusted).
+func addChecked(b *graph.Builder, u, v graph.NodeID) error {
+	return b.TryAddEdge(u, v)
 }
 
 // binaryMagic identifies the binary format ("PGY1").
@@ -141,7 +137,7 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("graphio: reading edge %d: %w", i, err)
 		}
 		if err := addChecked(b, pair[0], pair[1]); err != nil {
-			return nil, fmt.Errorf("graphio: edge %d: %v", i, err)
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
 		}
 	}
 	return b.Build(), nil

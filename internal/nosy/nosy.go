@@ -34,6 +34,7 @@
 package nosy
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,12 @@ type Config struct {
 	// iteration (needed by the Figure 4 harness; costs one O(m) pass and
 	// a clone per iteration).
 	TraceCosts bool
+	// OnIteration, when non-nil, streams every IterationStat as the
+	// round that produced it completes (Cost is filled only under
+	// TraceCosts). The callback runs on the solve goroutine between
+	// rounds; it must not mutate solver inputs and should return
+	// quickly. It is shared by the shared-memory and MapReduce solvers.
+	OnIteration func(IterationStat)
 }
 
 // DefaultMaxCrossEdges matches §4.2.
@@ -74,6 +81,8 @@ const DefaultMaxCrossEdges = 100000
 
 // IterationStat describes one PARALLELNOSY iteration.
 type IterationStat struct {
+	Iteration      int     // 0-based round number
+	Dirty          int     // hub edges re-evaluated this round (dirty-set size)
 	Candidates     int     // hub-graphs passing the phase-1 gain test
 	FullCommits    int     // candidates committed with all locks
 	PartialCommits int     // candidates committed as sub-hub-graphs
@@ -93,26 +102,47 @@ type Result struct {
 // Solve runs PARALLELNOSY to convergence and returns the finalized
 // schedule (every edge pushed, pulled, or hub-covered).
 func Solve(g *graph.Graph, r *workload.Rates, cfg Config) Result {
+	res, _ := SolveCtx(context.Background(), g, r, cfg)
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// once per iteration (round boundary — rounds are the solver's atomic
+// unit, so no per-edge overhead), and on cancellation the rounds
+// committed so far are finalized and returned with the context's error.
+// PARALLELNOSY's rounds are monotone — each only adds profitable hub
+// commits on top of a schedule the finalization completes with the hybrid
+// rule — so the result is a valid anytime schedule for every stop point.
+func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config) (Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	st := newState(NewEvaluator(g, r, cfg), cfg)
 	ev := st.ev
 	var iters []IterationStat
+	var cause error
 	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			cause = err
+			break
+		}
 		stat := st.iterate()
+		stat.Iteration = it
 		if cfg.TraceCosts {
 			snap := ev.Schedule().Clone()
 			snap.Finalize(r)
 			stat.Cost = snap.Cost(r)
 		}
 		iters = append(iters, stat)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(stat)
+		}
 		if stat.FullCommits+stat.PartialCommits == 0 {
 			break
 		}
 	}
 	ev.Schedule().Finalize(r)
-	return Result{Schedule: ev.Schedule(), Iterations: iters}
+	return Result{Schedule: ev.Schedule(), Iterations: iters}, cause
 }
 
 // SolveRestricted re-optimizes ONLY the given region edges of g, starting
@@ -129,6 +159,17 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg Config) Result {
 // §7). The result is valid and byte-identical for every worker count.
 func SolveRestricted(g *graph.Graph, r *workload.Rates, cfg Config,
 	base *core.Schedule, region []graph.EdgeID) Result {
+	res, _ := SolveRestrictedCtx(context.Background(), g, r, cfg, base, region)
+	return res
+}
+
+// SolveRestrictedCtx is SolveRestricted with the round-boundary
+// cancellation contract of SolveCtx: on cancellation the region edges
+// not re-covered by the rounds that did run are finalized with the
+// hybrid rule and exterior coverage is repaired, so the returned
+// schedule is valid for every stop point.
+func SolveRestrictedCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config,
+	base *core.Schedule, region []graph.EdgeID) (Result, error) {
 
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -142,16 +183,30 @@ func SolveRestricted(g *graph.Graph, r *workload.Rates, cfg Config,
 	}
 	st := newState(ev, cfg)
 	var iters []IterationStat
+	var cause error
 	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			cause = err
+			break
+		}
 		stat := st.iterate()
+		stat.Iteration = it
+		if cfg.TraceCosts {
+			snap := ev.sched.Clone()
+			snap.FinalizeEdges(r, region)
+			stat.Cost = snap.Cost(r)
+		}
 		iters = append(iters, stat)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(stat)
+		}
 		if stat.FullCommits+stat.PartialCommits == 0 {
 			break
 		}
 	}
 	ev.sched.FinalizeEdges(r, region)
 	repairs := core.RepairCoverage(ev.sched, r)
-	return Result{Schedule: ev.sched, Iterations: iters, BoundaryRepairs: repairs}
+	return Result{Schedule: ev.sched, Iterations: iters, BoundaryRepairs: repairs}, cause
 }
 
 // Evaluator holds the candidate-pricing logic shared by the shared-memory
@@ -511,6 +566,7 @@ func (st *state) iterate() IterationStat {
 	cands := st.phaseCandidates()
 	st.phaseLocks(cands)
 	stat := st.phaseDecide(cands)
+	stat.Dirty = len(st.dirtyList)
 	st.resetLocks()
 	return stat
 }

@@ -27,6 +27,8 @@
 package nosymr
 
 import (
+	"context"
+
 	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/mapreduce"
@@ -38,6 +40,15 @@ import (
 // schedule plus per-iteration stats. cfg is interpreted exactly as in
 // package nosy.
 func Solve(g *graph.Graph, r *workload.Rates, cfg nosy.Config) nosy.Result {
+	res, _ := SolveCtx(context.Background(), g, r, cfg)
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation, checked between
+// MapReduce iterations exactly as nosy.SolveCtx checks between rounds:
+// on cancellation the committed iterations are finalized with the hybrid
+// rule and returned as a valid anytime schedule with the context's error.
+func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg nosy.Config) (nosy.Result, error) {
 	ev := nosy.NewEvaluator(g, r, cfg)
 	opts := mapreduce.Options{Workers: cfg.Workers}
 
@@ -48,20 +59,30 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg nosy.Config) nosy.Result {
 	}
 
 	var iters []nosy.IterationStat
+	var cause error
 	for it := 0; cfg.MaxIterations == 0 || it < cfg.MaxIterations; it++ {
+		if err := ctx.Err(); err != nil {
+			cause = err
+			break
+		}
 		stat := iterate(ev, hubEdges, opts)
+		stat.Iteration = it
+		stat.Dirty = len(hubEdges) // every hub edge is re-mapped each job
 		if cfg.TraceCosts {
 			snap := ev.Schedule().Clone()
 			snap.Finalize(r)
 			stat.Cost = snap.Cost(r)
 		}
 		iters = append(iters, stat)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(stat)
+		}
 		if stat.FullCommits+stat.PartialCommits == 0 {
 			break
 		}
 	}
 	ev.Schedule().Finalize(r)
-	return nosy.Result{Schedule: ev.Schedule(), Iterations: iters}
+	return nosy.Result{Schedule: ev.Schedule(), Iterations: iters}, cause
 }
 
 // lockRequest is Job 1's map output value: candidate identity and gain.

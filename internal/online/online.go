@@ -38,8 +38,10 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"piggyback/internal/baseline"
 	"piggyback/internal/chitchat"
@@ -48,6 +50,7 @@ import (
 	"piggyback/internal/incremental"
 	"piggyback/internal/nosy"
 	"piggyback/internal/refine"
+	"piggyback/internal/solver"
 	"piggyback/internal/workload"
 )
 
@@ -88,8 +91,23 @@ type Config struct {
 	// work no matter how the drift signal behaves. 0 means 0.2; negative
 	// removes the cap.
 	BudgetFraction float64
-	// Solver picks the localized re-solve algorithm.
+	// Solver picks the localized re-solve algorithm. Ignored when
+	// Regional is set.
 	Solver SolverKind
+	// Regional, when non-nil, is the solver used for localized
+	// re-solves — any solver.Solver that supports Problem.Region. When
+	// nil, one is built from Solver + ChitChat/Nosy below. This is the
+	// one code path through which the daemon runs algorithms; the
+	// SolverKind switch only selects a default instance.
+	Regional solver.Solver
+	// ResolveTimeout is the wall-clock budget for ONE localized
+	// re-solve (BudgetFraction bounds cumulative work, not latency).
+	// When it fires, the solver returns its best-so-far valid schedule
+	// — the anytime contract — which still passes the accept/revert
+	// gate, so a truncated re-solve can only improve the live schedule
+	// or be rolled back. 0 means no wall-clock bound. A nonzero timeout
+	// trades the daemon's strict determinism for bounded latency.
+	ResolveTimeout time.Duration
 	// ChitChat configures SolverChitChat re-solves.
 	ChitChat chitchat.Config
 	// Nosy configures SolverNosy re-solves.
@@ -124,6 +142,15 @@ type Stats struct {
 	// Resolves counts accepted localized re-solves; Reverted counts
 	// re-solves rolled back because the patch did not lower the cost.
 	Resolves, Reverted int
+	// SolverErrors counts localized re-solves that failed outright
+	// (regional solver returned no schedule) — distinct from Reverted,
+	// which means the solver ran but did not win. A nonzero count
+	// signals misconfiguration or a solver bug, never mere
+	// unprofitability; the last error is retained in LastSolverErr.
+	SolverErrors int
+	// LastSolverErr is the most recent hard re-solve failure (nil when
+	// SolverErrors is 0).
+	LastSolverErr error
 	// RegionEdges is the cumulative edge count of all re-solved regions
 	// (accepted or reverted) — the "localized work" measure: compare it
 	// against the live edge count to see how much of the graph the
@@ -137,9 +164,17 @@ type Stats struct {
 // Daemon maintains a near-optimal schedule over a churning graph. Not
 // safe for concurrent use; feed it from one goroutine (Serve does).
 type Daemon struct {
-	cfg Config
-	r   *workload.Rates
-	m   *incremental.Maintainer
+	cfg      Config
+	r        *workload.Rates
+	m        *incremental.Maintainer
+	regional solver.Solver
+
+	// OnSplice, when non-nil, is called synchronously after every
+	// ACCEPTED localized re-solve with the rebased live graph and the
+	// newly spliced schedule. The daemon does not mutate the schedule it
+	// hands out (the maintainer works on its own clone), so receivers —
+	// e.g. a serving cluster swapping its live plan — may retain it.
+	OnSplice func(*graph.Graph, *core.Schedule)
 
 	// epoch is the CSR graph backing the current maintainer (the live
 	// graph as of the last rebase). Region discovery walks it; it lags
@@ -174,6 +209,20 @@ func New(s *core.Schedule, r *workload.Rates, cfg Config) (*Daemon, error) {
 		r:     r,
 		epoch: s.Graph(),
 		dirt:  make([]float64, s.Graph().NumNodes()),
+	}
+	d.regional = d.cfg.Regional
+	if d.regional == nil {
+		switch d.cfg.Solver {
+		case SolverNosy:
+			d.regional = solver.NewNosy(d.cfg.Nosy)
+		default:
+			d.regional = solver.NewChitChat(d.cfg.ChitChat)
+		}
+	} else if !solver.SupportsRegions(d.regional) {
+		// Fail at configuration time: a region-incapable solver would
+		// turn every triggered re-solve into a silent no-op.
+		return nil, fmt.Errorf("online: regional solver %q: %w",
+			d.regional.Name(), solver.ErrRegionUnsupported)
 	}
 	d.m = incremental.New(s, r)
 	d.m.OnRescue = d.onRescue
@@ -239,6 +288,19 @@ func (d *Daemon) NumEdges() int { return d.m.NumEdges() }
 // boundaries — re-solve any region whose accumulated dirt crossed the
 // threshold.
 func (d *Daemon) Apply(op workload.ChurnOp) error {
+	return d.ApplyCtx(context.Background(), op)
+}
+
+// ApplyCtx is Apply under a context: a context that is already done
+// fails fast before the op is ingested, and any localized re-solve the
+// op triggers runs under the context (plus Config.ResolveTimeout), so a
+// request-serving caller can bound the daemon's per-op wall clock. A
+// re-solve cut short by the context contributes its best-so-far patch
+// through the usual accept/revert gate.
+func (d *Daemon) ApplyCtx(ctx context.Context, op workload.ChurnOp) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	switch op.Kind {
 	case workload.OpAdd:
 		before := d.m.Cost()
@@ -277,15 +339,21 @@ func (d *Daemon) Apply(op workload.ChurnOp) error {
 	d.sinceChk++
 	if d.sinceChk >= d.cfg.CheckEvery {
 		d.sinceChk = 0
-		d.checkDrift()
+		d.checkDrift(ctx)
 	}
 	return nil
 }
 
 // ApplyTrace ingests a whole trace, stopping at the first error.
 func (d *Daemon) ApplyTrace(ops []workload.ChurnOp) error {
+	return d.ApplyTraceCtx(context.Background(), ops)
+}
+
+// ApplyTraceCtx ingests a whole trace under a context, stopping at the
+// first error (including context cancellation between ops).
+func (d *Daemon) ApplyTraceCtx(ctx context.Context, ops []workload.ChurnOp) error {
 	for i, op := range ops {
-		if err := d.Apply(op); err != nil {
+		if err := d.ApplyCtx(ctx, op); err != nil {
 			return fmt.Errorf("online: op %d: %w", i, err)
 		}
 	}
@@ -295,12 +363,25 @@ func (d *Daemon) ApplyTrace(ops []workload.ChurnOp) error {
 // Serve ingests ops from a stream until it closes — the daemon loop.
 // It returns the final stats and the first error, if any.
 func (d *Daemon) Serve(ops <-chan workload.ChurnOp) (Stats, error) {
-	for op := range ops {
-		if err := d.Apply(op); err != nil {
-			return d.stats, err
+	return d.ServeCtx(context.Background(), ops)
+}
+
+// ServeCtx is Serve under a context: the loop exits with the context's
+// error as soon as it fires, without waiting for the channel to close.
+func (d *Daemon) ServeCtx(ctx context.Context, ops <-chan workload.ChurnOp) (Stats, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return d.stats, ctx.Err()
+		case op, ok := <-ops:
+			if !ok {
+				return d.stats, nil
+			}
+			if err := d.ApplyCtx(ctx, op); err != nil {
+				return d.stats, err
+			}
 		}
 	}
-	return d.stats, nil
 }
 
 // dirtiestNode returns the node with maximum dirt (lowest id wins
@@ -321,7 +402,7 @@ func (d *Daemon) dirtiestNode() graph.NodeID {
 // region has churned by more than DriftThreshold of its own hybrid cost
 // mass. Re-solving clears the region's dirt, so each pass makes strict
 // progress; the per-check cap bounds the worst-case stall.
-func (d *Daemon) checkDrift() {
+func (d *Daemon) checkDrift(ctx context.Context) {
 	if d.cfg.DriftThreshold < 0 {
 		return
 	}
@@ -364,16 +445,16 @@ func (d *Daemon) checkDrift() {
 			float64(d.stats.RegionEdges+len(regionEdges)) > d.cfg.BudgetFraction*float64(d.m.NumEdges()) {
 			return // out of re-solve budget; keep patching incrementally
 		}
-		d.resolveRegion(region)
+		d.resolveRegion(ctx, region)
 		threshold = d.cfg.DriftThreshold * float64(int64(1)<<min(d.revertStreak, 40))
 	}
 }
 
 // resolveRegion rebases the live graph, re-solves the region in
-// isolation, and splices the patch in if it lowers the cost. Either
-// way the region's dirt is cleared and a fresh maintainer epoch
-// begins when the patch is accepted.
-func (d *Daemon) resolveRegion(epochNodes []graph.NodeID) {
+// isolation through the configured solver.Solver, and splices the patch
+// in if it lowers the cost. Either way the region's dirt is cleared and
+// a fresh maintainer epoch begins when the patch is accepted.
+func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 	liveG, liveS := d.m.Rebase()
 	// The region's NODE set was chosen on the (possibly lagging) epoch
 	// graph; its edges are extracted from the fresh live graph, so the
@@ -395,22 +476,34 @@ func (d *Daemon) resolveRegion(epochNodes []graph.NodeID) {
 	}
 
 	oldCost := liveS.Cost(d.r)
+	rctx := ctx
+	if d.cfg.ResolveTimeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, d.cfg.ResolveTimeout)
+		defer cancel()
+	}
 	var patched *core.Schedule
-	switch d.cfg.Solver {
-	case SolverNosy:
-		res := nosy.SolveRestricted(liveG, d.r, d.cfg.Nosy, liveS, regionEdges)
+	res, err := d.regional.Solve(rctx, solver.Problem{
+		Graph:  liveG,
+		Rates:  d.r,
+		Base:   liveS,
+		Region: regionEdges,
+	})
+	if res != nil {
+		// A context-truncated re-solve still returns a valid best-so-far
+		// patch (res non-nil alongside err); only hard failures leave
+		// res nil, and then the maintained schedule stands.
 		patched = res.Schedule
-		d.stats.BoundaryRepairs += res.BoundaryRepairs
-	default:
-		sub := graph.Induced(liveG, nodes)
-		patch := chitchat.SolveInduced(sub, d.r, d.cfg.ChitChat)
-		patched = liveS.Clone()
-		repairs, err := core.ApplyPatch(patched, sub, patch, d.r)
-		if err != nil {
-			patched = nil // defensive: keep the maintained schedule
-		} else {
-			d.stats.BoundaryRepairs += repairs
-		}
+		d.stats.BoundaryRepairs += res.Report.BoundaryRepairs
+	} else {
+		// Hard failure: the solver never produced a schedule. This is
+		// misconfiguration or a bug, not an unprofitable re-solve, so it
+		// is booked separately and does NOT feed the revert backoff —
+		// backoff models "patches cannot win here", which a solver that
+		// never ran says nothing about.
+		d.stats.SolverErrors++
+		d.stats.LastSolverErr = err
+		return
 	}
 	if patched != nil {
 		// The regional solver saw the region in isolation, so region
@@ -431,6 +524,9 @@ func (d *Daemon) resolveRegion(epochNodes []graph.NodeID) {
 	d.m.OnRescue = d.onRescue
 	d.epoch = liveG
 	d.lb = lowerBound(liveG, d.r)
+	if d.OnSplice != nil {
+		d.OnSplice(liveG, patched)
+	}
 }
 
 // lowerBound computes the coverability bound: an edge u → v whose

@@ -2,6 +2,7 @@ package online
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"piggyback/internal/graphgen"
 	"piggyback/internal/nosy"
 	"piggyback/internal/schedio"
+	"piggyback/internal/solver"
 	"piggyback/internal/workload"
 )
 
@@ -240,5 +242,18 @@ func TestAcceptanceOnlineDaemon2k(t *testing.T) {
 		if d1.Cost() != d2.Cost() {
 			t.Fatalf("cost differs between worker counts: %v vs %v", d1.Cost(), d2.Cost())
 		}
+	}
+}
+
+// TestRejectsRegionIncapableSolver pins the construction-time guard: a
+// regional solver that cannot handle Problem.Region is a configuration
+// error, not a stream of silent re-solve failures.
+func TestRejectsRegionIncapableSolver(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(100, 1))
+	r := workload.LogDegree(g, 5)
+	s := chitchat.Solve(g, r, chitchat.Config{})
+	_, err := New(s, r, Config{Regional: solver.NewNosyMapReduce(nosy.Config{})})
+	if !errors.Is(err, solver.ErrRegionUnsupported) {
+		t.Fatalf("New with nosymr regional = %v, want ErrRegionUnsupported", err)
 	}
 }

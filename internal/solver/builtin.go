@@ -1,0 +1,320 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/chitchat"
+	"piggyback/internal/core"
+	"piggyback/internal/densest"
+	"piggyback/internal/graph"
+	"piggyback/internal/nosy"
+	"piggyback/internal/nosymr"
+)
+
+// Built-in registry names.
+const (
+	ChitChat      = "chitchat"
+	Nosy          = "nosy"
+	NosyMapReduce = "nosymr"
+	Hybrid        = "hybrid"
+	PushAll       = "pushall"
+	PullAll       = "pullall"
+)
+
+func init() {
+	Register(ChitChat, func(o Options) Solver {
+		return withProgress(NewChitChat(chitchat.Config{
+			Workers:       o.Workers,
+			MaxCrossEdges: o.MaxCrossEdges,
+		}), o.Progress)
+	})
+	Register(Nosy, func(o Options) Solver {
+		return withProgress(NewNosy(nosy.Config{
+			Workers:       o.Workers,
+			MaxIterations: o.MaxIterations,
+			MaxCrossEdges: o.MaxCrossEdges,
+			TraceCosts:    o.TraceCosts,
+		}), o.Progress)
+	})
+	Register(NosyMapReduce, func(o Options) Solver {
+		return withProgress(NewNosyMapReduce(nosy.Config{
+			Workers:       o.Workers,
+			MaxIterations: o.MaxIterations,
+			MaxCrossEdges: o.MaxCrossEdges,
+			TraceCosts:    o.TraceCosts,
+		}), o.Progress)
+	})
+	Register(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} })
+	Register(PushAll, func(Options) Solver { return baselineSolver{PushAll} })
+	Register(PullAll, func(Options) Solver { return baselineSolver{PullAll} })
+}
+
+// withProgress attaches a progress sink to a typed-constructor solver.
+func withProgress(s Solver, fn func(ProgressEvent)) Solver {
+	switch sv := s.(type) {
+	case *chitchatSolver:
+		sv.progress = fn
+	case *nosySolver:
+		sv.progress = fn
+	}
+	return s
+}
+
+// guard recovers the typed panics reachable from the public API —
+// oversized exact-oracle instances and out-of-range graph edges — and
+// converts them into returned errors; anything else keeps propagating.
+func guard(name string, res **Result, err *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if e, ok := p.(error); ok &&
+		(errors.Is(e, densest.ErrInstanceTooLarge) || errors.Is(e, graph.ErrEdgeOutOfRange)) {
+		*res = nil
+		*err = fmt.Errorf("solver %s: %w", name, e)
+		return
+	}
+	panic(p)
+}
+
+// finish assembles the Result for a completed (or canceled) solve.
+// cause is nil or the context error that cut the solve short; it is
+// passed through so callers keep the best-so-far schedule alongside it.
+// Report.Cost (an O(m) pass) is computed for full solves only: region
+// re-solve callers sit on a hot path, post-process the patch (refine)
+// before pricing it, and never read the field.
+func finish(name string, s *core.Schedule, p Problem, rep Report, cause error) (*Result, error) {
+	rep.Solver = name
+	if p.Region == nil {
+		rep.Cost = s.Cost(p.Rates)
+	} else {
+		rep.Cost = math.NaN()
+	}
+	rep.Canceled = cause != nil
+	return &Result{Schedule: s, Report: rep}, cause
+}
+
+// endpointNodes returns the sorted, deduplicated endpoint set of the
+// region edges.
+func endpointNodes(g *graph.Graph, region []graph.EdgeID) []graph.NodeID {
+	nodes := make([]graph.NodeID, 0, 2*len(region))
+	for _, e := range region {
+		nodes = append(nodes, g.EdgeSource(e), g.EdgeTarget(e))
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	dst := 0
+	for i, v := range nodes {
+		if i > 0 && v == nodes[i-1] {
+			continue
+		}
+		nodes[dst] = v
+		dst++
+	}
+	return nodes[:dst]
+}
+
+// sameEdgeSet reports whether a and b hold the same edge ids (order
+// ignored; a is sorted in place, b is copied).
+func sameEdgeSet(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	bs := append([]graph.EdgeID(nil), b...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range a {
+		if a[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chitchatSolver adapts the CHITCHAT approximation to the Solver
+// contract. Region re-solves extract the induced subgraph of the
+// region's endpoints, solve it in isolation, and splice the patch into
+// the base schedule via core.ApplyPatch.
+type chitchatSolver struct {
+	cfg      chitchat.Config
+	progress func(ProgressEvent)
+}
+
+// NewChitChat returns the CHITCHAT solver under a full typed config —
+// the constructor for callers that need knobs beyond Options (exact
+// oracle, refresh batch, member cache cap).
+func NewChitChat(cfg chitchat.Config) Solver { return &chitchatSolver{cfg: cfg} }
+
+func (s *chitchatSolver) Name() string { return ChitChat }
+
+// SupportsRegions implements RegionCapable.
+func (s *chitchatSolver) SupportsRegions() bool { return true }
+
+func (s *chitchatSolver) Solve(ctx context.Context, p Problem) (res *Result, err error) {
+	defer guard(s.Name(), &res, &err)
+	if err := checkProblem(p); err != nil {
+		return nil, err
+	}
+	// Count greedy commits through the progress hook (chained with the
+	// caller's sink) so the report's iteration count is exact.
+	cfg := s.cfg
+	commits := 0
+	prev := cfg.OnProgress
+	cfg.OnProgress = func(pr chitchat.Progress) {
+		commits = pr.Commits
+		if prev != nil {
+			prev(pr)
+		}
+		if s.progress != nil {
+			s.progress(ProgressEvent{
+				Solver:    ChitChat,
+				Iteration: pr.Commits,
+				Covered:   pr.Covered,
+				Remaining: pr.Remaining,
+				Cost:      math.NaN(),
+			})
+		}
+	}
+	if p.Region == nil {
+		sched, cause := chitchat.SolveCtx(ctx, p.Graph, p.Rates, cfg)
+		return finish(ChitChat, sched, p, Report{Iterations: commits}, cause)
+	}
+	nodes := endpointNodes(p.Graph, p.Region)
+	if induced := graph.InducedEdgeIDs(p.Graph, nodes); !sameEdgeSet(induced, p.Region) {
+		return nil, fmt.Errorf("%w: %d region edges vs %d induced by their endpoints",
+			ErrRegionNotInduced, len(p.Region), len(induced))
+	}
+	sub := graph.Induced(p.Graph, nodes)
+	patch, cause := chitchat.SolveInducedCtx(ctx, sub, p.Rates, cfg)
+	out := p.Base.Clone()
+	repairs, aerr := core.ApplyPatch(out, sub, patch, p.Rates)
+	if aerr != nil {
+		return nil, fmt.Errorf("solver %s: splicing region patch: %w", ChitChat, aerr)
+	}
+	return finish(ChitChat, out, p, Report{Iterations: commits, BoundaryRepairs: repairs}, cause)
+}
+
+// nosySolver adapts PARALLELNOSY — shared-memory or MapReduce — to the
+// Solver contract. Region re-solves run the restricted entry point
+// (shared-memory substrate only).
+type nosySolver struct {
+	cfg      nosy.Config
+	mr       bool
+	progress func(ProgressEvent)
+}
+
+// NewNosy returns the shared-memory PARALLELNOSY solver under a full
+// typed config.
+func NewNosy(cfg nosy.Config) Solver { return &nosySolver{cfg: cfg} }
+
+// NewNosyMapReduce returns the MapReduce PARALLELNOSY solver under a
+// full typed config. It produces schedules identical to NewNosy but
+// does not support region re-solves.
+func NewNosyMapReduce(cfg nosy.Config) Solver { return &nosySolver{cfg: cfg, mr: true} }
+
+func (s *nosySolver) Name() string {
+	if s.mr {
+		return NosyMapReduce
+	}
+	return Nosy
+}
+
+// SupportsRegions implements RegionCapable: only the shared-memory
+// substrate has the restricted entry point.
+func (s *nosySolver) SupportsRegions() bool { return !s.mr }
+
+func (s *nosySolver) Solve(ctx context.Context, p Problem) (res *Result, err error) {
+	defer guard(s.Name(), &res, &err)
+	if err := checkProblem(p); err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	if s.progress != nil {
+		prev := cfg.OnIteration
+		cfg.OnIteration = func(it nosy.IterationStat) {
+			if prev != nil {
+				prev(it)
+			}
+			cost := it.Cost
+			if !cfg.TraceCosts {
+				cost = math.NaN()
+			}
+			s.progress(ProgressEvent{
+				Solver:         s.Name(),
+				Iteration:      it.Iteration,
+				Dirty:          it.Dirty,
+				Candidates:     it.Candidates,
+				FullCommits:    it.FullCommits,
+				PartialCommits: it.PartialCommits,
+				CoveredEdges:   it.CoveredEdges,
+				Cost:           cost,
+			})
+		}
+	}
+	var (
+		nr    nosy.Result
+		cause error
+	)
+	switch {
+	case p.Region != nil && s.mr:
+		return nil, fmt.Errorf("solver %s: %w", s.Name(), ErrRegionUnsupported)
+	case p.Region != nil:
+		nr, cause = nosy.SolveRestrictedCtx(ctx, p.Graph, p.Rates, cfg, p.Base, p.Region)
+	case s.mr:
+		nr, cause = nosymr.SolveCtx(ctx, p.Graph, p.Rates, cfg)
+	default:
+		nr, cause = nosy.SolveCtx(ctx, p.Graph, p.Rates, cfg)
+	}
+	rep := Report{Iterations: len(nr.Iterations), BoundaryRepairs: nr.BoundaryRepairs}
+	for _, it := range nr.Iterations {
+		rep.FullCommits += it.FullCommits
+		rep.PartialCommits += it.PartialCommits
+		rep.CoveredEdges += it.CoveredEdges
+	}
+	return finish(s.Name(), nr.Schedule, p, rep, cause)
+}
+
+// baselineSolver adapts the one-shot baselines. They are instantaneous,
+// so the context is only consulted once: a pre-canceled context still
+// yields the (valid) baseline schedule alongside its error, per the
+// anytime contract.
+type baselineSolver struct{ name string }
+
+// NewBaseline returns the named baseline solver: Hybrid (FEEDINGFRENZY,
+// each edge served the cheaper way), PushAll, or PullAll.
+func NewBaseline(name string) (Solver, error) {
+	switch name {
+	case Hybrid, PushAll, PullAll:
+		return baselineSolver{name}, nil
+	}
+	return nil, fmt.Errorf("%w %q (baselines: %s, %s, %s)", ErrUnknownSolver, name, Hybrid, PushAll, PullAll)
+}
+
+func (s baselineSolver) Name() string { return s.name }
+
+// SupportsRegions implements RegionCapable.
+func (s baselineSolver) SupportsRegions() bool { return false }
+
+func (s baselineSolver) Solve(ctx context.Context, p Problem) (res *Result, err error) {
+	defer guard(s.Name(), &res, &err)
+	if err := checkProblem(p); err != nil {
+		return nil, err
+	}
+	if p.Region != nil {
+		return nil, fmt.Errorf("solver %s: %w", s.name, ErrRegionUnsupported)
+	}
+	var sched *core.Schedule
+	switch s.name {
+	case PushAll:
+		sched = baseline.PushAll(p.Graph)
+	case PullAll:
+		sched = baseline.PullAll(p.Graph)
+	default:
+		sched = baseline.Hybrid(p.Graph, p.Rates)
+	}
+	return finish(s.name, sched, p, Report{Iterations: 1}, ctx.Err())
+}

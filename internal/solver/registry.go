@@ -1,0 +1,66 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds a configured Solver instance from generic options.
+type Factory func(Options) Solver
+
+// ErrUnknownSolver is wrapped by Get for names nobody registered.
+var ErrUnknownSolver = fmt.Errorf("solver: unknown solver")
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a solver available under name. It panics on an empty
+// name, a nil factory, or a duplicate registration — registry misuse is
+// a programmer error caught at init time, not a runtime condition.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("solver: Register with empty name or nil factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("solver: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// Get returns the factory registered under name, or an error wrapping
+// ErrUnknownSolver that lists the known names.
+func Get(name string) (Factory, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, name, Names())
+	}
+	return f, nil
+}
+
+// New is the one-step convenience: look name up and build the solver.
+func New(name string, opts Options) (Solver, error) {
+	f, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(opts), nil
+}
+
+// Names returns every registered solver name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

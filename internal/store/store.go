@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"piggyback/internal/core"
 	"piggyback/internal/graph"
@@ -166,20 +167,30 @@ type Options struct {
 const DefaultServiceSpins = 400
 
 // Cluster is the simulated data-store tier plus the request schedule the
-// clients follow.
+// clients follow. The schedule is held as an atomically swappable plan,
+// so a rescheduling daemon can publish a new schedule (Swap) while
+// clients keep issuing requests.
 type Cluster struct {
 	g       *graph.Graph
-	sched   *core.Schedule
 	assign  partition.Assignment
 	servers []*server
 
-	// Per-user push/pull server batches, precomputed: the schedule and
-	// partition are static during a run, exactly like the in-memory
-	// push/pull sets of Algorithm 3.
-	pushBatch [][]batch
-	pullBatch [][]batch
+	// plan is the live request-routing state. Clients load it once per
+	// request; Swap publishes a fresh one. In-flight requests finish on
+	// the plan they started with — exactly the paper's model, where a
+	// schedule change only affects subsequent requests.
+	plan atomic.Pointer[plan]
 
 	closeOnce sync.Once
+}
+
+// plan is the immutable routing state derived from one schedule: the
+// per-user push/pull server batches of Algorithm 3, precomputed since
+// the schedule and partition are static between swaps. The schedule
+// itself is not retained — routing only needs the batches.
+type plan struct {
+	pushBatch [][]batch
+	pullBatch [][]batch
 }
 
 // batch is the per-server slice of views one request touches.
@@ -200,7 +211,6 @@ func NewCluster(s *core.Schedule, opts Options) (*Cluster, error) {
 	g := s.Graph()
 	c := &Cluster{
 		g:      g,
-		sched:  s,
 		assign: partition.Hash(g.NumNodes(), opts.Servers, opts.PartitionSeed),
 	}
 	for i := 0; i < opts.Servers; i++ {
@@ -212,14 +222,39 @@ func NewCluster(s *core.Schedule, opts Options) (*Cluster, error) {
 		c.servers = append(c.servers, sv)
 		go sv.run()
 	}
-	c.pushBatch = make([][]batch, g.NumNodes())
-	c.pullBatch = make([][]batch, g.NumNodes())
-	for u := 0; u < g.NumNodes(); u++ {
-		uid := graph.NodeID(u)
-		c.pushBatch[u] = c.group(append(s.PushSet(uid), uid))
-		c.pullBatch[u] = c.group(append(s.PullSet(uid), uid))
-	}
+	c.plan.Store(c.buildPlan(s))
 	return c, nil
+}
+
+// buildPlan precomputes the per-user batches for one schedule.
+func (c *Cluster) buildPlan(s *core.Schedule) *plan {
+	n := s.Graph().NumNodes()
+	p := &plan{
+		pushBatch: make([][]batch, n),
+		pullBatch: make([][]batch, n),
+	}
+	for u := 0; u < n; u++ {
+		uid := graph.NodeID(u)
+		p.pushBatch[u] = c.group(append(s.PushSet(uid), uid))
+		p.pullBatch[u] = c.group(append(s.PullSet(uid), uid))
+	}
+	return p
+}
+
+// Swap publishes a new schedule: every subsequent Update/Query routes
+// by it, while requests already in flight complete on the old plan. The
+// schedule may be over a different (churned) graph as long as the node
+// id space is unchanged — views are keyed by node id, so served history
+// carries over. The batches are derived during the call and s is not
+// retained. This is the serving half of the online rescheduling loop:
+// the daemon's accepted splices go live here without draining the
+// cluster.
+func (c *Cluster) Swap(s *core.Schedule) error {
+	if got := s.Graph().NumNodes(); got != c.g.NumNodes() {
+		return fmt.Errorf("store: swap schedule has %d nodes, cluster has %d", got, c.g.NumNodes())
+	}
+	c.plan.Store(c.buildPlan(s))
+	return nil
 }
 
 // group buckets views by their hosting server.
@@ -250,10 +285,10 @@ func (c *Cluster) Close() {
 func (c *Cluster) NumServers() int { return len(c.servers) }
 
 // MessagesPerUpdate returns how many server messages an update by u costs.
-func (c *Cluster) MessagesPerUpdate(u graph.NodeID) int { return len(c.pushBatch[u]) }
+func (c *Cluster) MessagesPerUpdate(u graph.NodeID) int { return len(c.plan.Load().pushBatch[u]) }
 
 // MessagesPerQuery returns how many server messages a query by u costs.
-func (c *Cluster) MessagesPerQuery(u graph.NodeID) int { return len(c.pullBatch[u]) }
+func (c *Cluster) MessagesPerQuery(u graph.NodeID) int { return len(c.plan.Load().pullBatch[u]) }
 
 // Client issues requests against the cluster, implementing the
 // application-logic server of Algorithm 3. Clients are not safe for
@@ -277,7 +312,7 @@ func (c *Cluster) NewClient() *Client {
 // data-store server holding a view in u's push set (plus u's own), then
 // waits for all acks — the upper half of Algorithm 3.
 func (cl *Client) Update(u graph.NodeID, ev Event) {
-	batches := cl.c.pushBatch[u]
+	batches := cl.c.plan.Load().pushBatch[u]
 	for _, b := range batches {
 		cl.c.servers[b.server].req <- request{
 			kind: reqUpdate, views: b.views, ev: ev, done: cl.done,
@@ -292,7 +327,7 @@ func (cl *Client) Update(u graph.NodeID, ev Event) {
 // server holding a view in u's pull set (plus u's own), merging replies
 // with the StreamSize filter — the lower half of Algorithm 3.
 func (cl *Client) Query(u graph.NodeID) []Event {
-	batches := cl.c.pullBatch[u]
+	batches := cl.c.plan.Load().pullBatch[u]
 	for _, b := range batches {
 		cl.c.servers[b.server].req <- request{
 			kind: reqQuery, views: b.views, reply: cl.reply,

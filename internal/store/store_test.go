@@ -239,3 +239,72 @@ func TestMoreServersMoreMessages(t *testing.T) {
 			PredictedMessages(c1, r), PredictedMessages(c64, r))
 	}
 }
+
+// TestSwapSchedule exercises the live schedule swap: requests keep
+// flowing (from concurrent clients, for the -race CI run) while the
+// plan is replaced, and routing reflects the new schedule afterwards.
+func TestSwapSchedule(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(150, 3))
+	r := workload.LogDegree(g, 5)
+	hybrid := baseline.Hybrid(g, r)
+	pn := nosy.Solve(g, r, nosy.Config{}).Schedule
+	c := newCluster(t, hybrid, 4)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cl := c.NewClient()
+		for u := graph.NodeID(0); ; u = (u + 1) % graph.NodeID(g.NumNodes()) {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cl.Update(u, Event{User: u, ID: 1, TS: 1})
+			cl.Query(u)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		next := hybrid
+		if i%2 == 1 {
+			next = pn // odd last index: the final plan routes by pn
+		}
+		if err := c.Swap(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+
+	// The cluster now routes by pn. A reference cluster built directly
+	// on pn (same server count and partition seed → same placement)
+	// must agree with the swapped plan for every user, and the plan
+	// must actually have moved off the hybrid batches for someone.
+	ref := newCluster(t, pn, 4)
+	moved := false
+	pre := newCluster(t, hybrid, 4)
+	for u := 0; u < g.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		if got, want := c.MessagesPerQuery(uid), ref.MessagesPerQuery(uid); got != want {
+			t.Fatalf("user %d: MessagesPerQuery after swap = %d, want %d (pn plan)", u, got, want)
+		}
+		if got, want := c.MessagesPerUpdate(uid), ref.MessagesPerUpdate(uid); got != want {
+			t.Fatalf("user %d: MessagesPerUpdate after swap = %d, want %d (pn plan)", u, got, want)
+		}
+		if c.MessagesPerQuery(uid) != pre.MessagesPerQuery(uid) ||
+			c.MessagesPerUpdate(uid) != pre.MessagesPerUpdate(uid) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("swapped plan is identical to the hybrid plan for every user; Swap had no observable effect")
+	}
+
+	// Swapping a schedule over a different node-id space must fail.
+	small := graphgen.Social(graphgen.FlickrLike(50, 3))
+	bad := baseline.PushAll(small)
+	if err := c.Swap(bad); err == nil {
+		t.Fatal("Swap accepted a schedule with a different node count")
+	}
+}

@@ -20,31 +20,135 @@
 //     schedule and measures actual throughput, and
 //   - harnesses regenerating every figure of the paper's evaluation.
 //
+// Every algorithm is exposed through one typed contract, the Solver
+// interface: Solve(ctx, Problem) (*Result, error) with cooperative
+// cancellation (canceled solves return the best-so-far valid schedule
+// together with the context's error), live progress streaming, and
+// typed errors instead of panics. Solvers are selected by name from a
+// registry, so tools and services share a single code path.
+//
 // Quick start:
 //
 //	g := piggyback.TwitterLikeGraph(10000, 42)
 //	r := piggyback.LogDegreeRates(g, 5) // read/write ratio 5
-//	hybrid := piggyback.Hybrid(g, r)
-//	pn, _ := piggyback.ParallelNosy(g, r, piggyback.NosyConfig{})
-//	fmt.Printf("improvement: %.2fx\n", hybrid.Cost(r)/pn.Cost(r))
+//	sv, _ := piggyback.NewSolver("nosy", piggyback.Options{})
+//	res, err := sv.Solve(ctx, piggyback.Problem{Graph: g, Rates: r})
+//	if err != nil && !errors.Is(err, context.Canceled) {
+//		log.Fatal(err)
+//	}
+//	fmt.Printf("improvement: %.2fx\n", piggyback.HybridCost(g, r)/res.Report.Cost)
 package piggyback
 
 import (
+	"context"
+
 	"piggyback/internal/baseline"
 	"piggyback/internal/chitchat"
 	"piggyback/internal/core"
+	"piggyback/internal/densest"
 	"piggyback/internal/graph"
 	"piggyback/internal/graphgen"
 	"piggyback/internal/incremental"
 	"piggyback/internal/nosy"
-	"piggyback/internal/nosymr"
 	"piggyback/internal/online"
 	"piggyback/internal/partition"
 	"piggyback/internal/refine"
 	"piggyback/internal/sampling"
+	"piggyback/internal/solver"
 	"piggyback/internal/store"
 	"piggyback/internal/workload"
 )
+
+// Solver is the contract every scheduling algorithm implements:
+// Solve(ctx, Problem) (*Result, error). The context is checked at
+// iteration granularity; on cancellation Solve returns the best-so-far
+// VALID schedule together with the context's error (anytime-solver
+// semantics). See the internal/solver package comment for the full
+// contract.
+type Solver = solver.Solver
+
+// Problem is one solve request: Graph and Rates for a full solve, plus
+// Base and Region for a localized re-solve.
+type Problem = solver.Problem
+
+// Result is a solver output: a Theorem-1-valid Schedule and the run
+// Report.
+type Result = solver.Result
+
+// Report summarizes a finished (or canceled) solve: iteration counts,
+// commit stats, boundary repairs, final cost.
+type Report = solver.Report
+
+// ProgressEvent is a live progress sample streamed to Options.Progress
+// while a solve runs.
+type ProgressEvent = solver.ProgressEvent
+
+// Options tunes a registry-constructed solver: workers, iteration and
+// cross-edge bounds, cost tracing, and the Progress callback.
+type Options = solver.Options
+
+// SolverFactory builds a configured Solver from Options.
+type SolverFactory = solver.Factory
+
+// Typed errors surfaced by Solve (and the registry).
+var (
+	// ErrInstanceTooLarge: the exact densest-subgraph oracle was asked
+	// to enumerate an instance with more than 24 nodes.
+	ErrInstanceTooLarge = densest.ErrInstanceTooLarge
+	// ErrEdgeOutOfRange: a graph edge referenced a node outside [0, n).
+	ErrEdgeOutOfRange = graph.ErrEdgeOutOfRange
+	// ErrUnknownSolver: no solver is registered under the given name.
+	ErrUnknownSolver = solver.ErrUnknownSolver
+	// ErrRegionUnsupported: the chosen solver cannot re-solve regions.
+	ErrRegionUnsupported = solver.ErrRegionUnsupported
+	// ErrRegionNotInduced: a region re-solve needs the region to be the
+	// full induced edge set of its endpoint nodes.
+	ErrRegionNotInduced = solver.ErrRegionNotInduced
+)
+
+// RegisterSolver makes a solver available under name (panics on
+// duplicates — registration is an init-time affair). The built-ins are
+// "chitchat", "nosy", "nosymr", "hybrid", "pushall", "pullall".
+func RegisterSolver(name string, f SolverFactory) { solver.Register(name, f) }
+
+// GetSolver returns the factory registered under name, or an error
+// wrapping ErrUnknownSolver.
+func GetSolver(name string) (SolverFactory, error) { return solver.Get(name) }
+
+// NewSolver looks name up in the registry and builds the solver.
+func NewSolver(name string, opts Options) (Solver, error) { return solver.New(name, opts) }
+
+// Solvers returns every registered solver name, sorted.
+func Solvers() []string { return solver.Names() }
+
+// MustSolve runs the named registered solver to completion and panics
+// on any error — the one-liner for examples, tests, and scripts.
+// Production callers should use NewSolver/Solve for cancellation,
+// progress, and typed errors.
+func MustSolve(name string, g *Graph, r *Rates) *Schedule {
+	sv, err := NewSolver(name, Options{})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		panic(err)
+	}
+	return res.Schedule
+}
+
+// NewChitChatSolver returns the CHITCHAT solver under its full typed
+// config (knobs beyond Options: exact oracle, refresh batch, member
+// cache cap, progress hook).
+func NewChitChatSolver(cfg ChitChatConfig) Solver { return solver.NewChitChat(cfg) }
+
+// NewNosySolver returns the shared-memory PARALLELNOSY solver under its
+// full typed config. It supports Problem.Region re-solves.
+func NewNosySolver(cfg NosyConfig) Solver { return solver.NewNosy(cfg) }
+
+// NewNosyMapReduceSolver returns the MapReduce PARALLELNOSY solver; it
+// produces schedules identical to NewNosySolver.
+func NewNosyMapReduceSolver(cfg NosyConfig) Solver { return solver.NewNosyMapReduce(cfg) }
 
 // Graph is a directed social graph in CSR form; the edge u → v means v
 // subscribes to u. Build one with NewGraphBuilder or GraphFromEdges.
@@ -126,12 +230,20 @@ func Hybrid(g *Graph, r *Rates) *Schedule { return baseline.Hybrid(g, r) }
 type ChitChatConfig = chitchat.Config
 
 // ChitChat computes a schedule with the CHITCHAT O(ln n)-approximation.
-// It is the quality reference; use ParallelNosy for very large graphs.
-// The densest-subgraph oracle evaluations fan out across
+// It is the quality reference; use the "nosy" solver for very large
+// graphs. The densest-subgraph oracle evaluations fan out across
 // ChitChatConfig.Workers goroutines (default: all cores) and the
 // schedule is byte-identical for every worker count.
+//
+// Deprecated: use NewChitChatSolver(cfg).Solve (or NewSolver("chitchat",
+// ...)) for cancellation, live progress, and typed errors. This wrapper
+// panics where Solve returns an error.
 func ChitChat(g *Graph, r *Rates, cfg ChitChatConfig) *Schedule {
-	return chitchat.Solve(g, r, cfg)
+	res, err := NewChitChatSolver(cfg).Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		panic(err)
+	}
+	return res.Schedule
 }
 
 // NosyConfig tunes PARALLELNOSY.
@@ -142,17 +254,46 @@ type NosyIteration = nosy.IterationStat
 
 // ParallelNosy computes a schedule with the PARALLELNOSY parallel
 // heuristic, returning the finalized schedule and per-iteration stats.
+//
+// Deprecated: use NewNosySolver(cfg).Solve (or NewSolver("nosy", ...))
+// for cancellation and live progress; per-iteration stats stream through
+// NosyConfig.OnIteration / Options.Progress instead of accumulating.
 func ParallelNosy(g *Graph, r *Rates, cfg NosyConfig) (*Schedule, []NosyIteration) {
-	res := nosy.Solve(g, r, cfg)
-	return res.Schedule, res.Iterations
+	var iters []NosyIteration
+	cfg.OnIteration = chainIters(cfg.OnIteration, &iters)
+	res, err := NewNosySolver(cfg).Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		panic(err)
+	}
+	return res.Schedule, iters
 }
 
 // ParallelNosyMapReduce runs the same heuristic as literal MapReduce jobs
 // on the in-memory engine — the paper's Hadoop formulation. It produces
 // the identical schedule as ParallelNosy.
+//
+// Deprecated: use NewNosyMapReduceSolver(cfg).Solve (or
+// NewSolver("nosymr", ...)).
 func ParallelNosyMapReduce(g *Graph, r *Rates, cfg NosyConfig) (*Schedule, []NosyIteration) {
-	res := nosymr.Solve(g, r, cfg)
-	return res.Schedule, res.Iterations
+	var iters []NosyIteration
+	cfg.OnIteration = chainIters(cfg.OnIteration, &iters)
+	res, err := NewNosyMapReduceSolver(cfg).Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		panic(err)
+	}
+	return res.Schedule, iters
+}
+
+// chainIters accumulates iteration stats into dst while preserving any
+// caller-installed hook — the shim that lets the deprecated slice-
+// returning wrappers ride on the streaming API.
+func chainIters(prev func(NosyIteration), dst *[]NosyIteration) func(NosyIteration) {
+	return func(it NosyIteration) {
+		*dst = append(*dst, it)
+		if prev != nil {
+			prev(it)
+		}
+	}
 }
 
 // HybridCost returns the FEEDINGFRENZY cost without materializing the
@@ -201,6 +342,9 @@ func KHopNeighborhood(g *Graph, seeds []NodeID, k, maxNodes int) []NodeID {
 // ChitChatInduced re-solves an extracted region with CHITCHAT under the
 // global rates projected through the subgraph mapping, returning a patch
 // schedule over sub.G for ApplySchedulePatch.
+//
+// Deprecated: use NewChitChatSolver(cfg).Solve with Problem.Base and
+// Problem.Region, which extracts, re-solves, and splices in one call.
 func ChitChatInduced(sub *Subgraph, r *Rates, cfg ChitChatConfig) *Schedule {
 	return chitchat.SolveInduced(sub, r, cfg)
 }
@@ -210,9 +354,18 @@ func ChitChatInduced(sub *Subgraph, r *Rates, cfg ChitChatConfig) *Schedule {
 // point. Edges outside the region keep their assignment (boundary
 // coverage may gain support flags); the result is valid and identical
 // for every worker count.
+//
+// Deprecated: use NewNosySolver(cfg).Solve with Problem.Base and
+// Problem.Region.
 func ParallelNosyRestricted(g *Graph, r *Rates, cfg NosyConfig, base *Schedule, region []EdgeID) (*Schedule, []NosyIteration) {
-	res := nosy.SolveRestricted(g, r, cfg, base, region)
-	return res.Schedule, res.Iterations
+	var iters []NosyIteration
+	cfg.OnIteration = chainIters(cfg.OnIteration, &iters)
+	res, err := NewNosySolver(cfg).Solve(context.Background(),
+		Problem{Graph: g, Rates: r, Base: base, Region: region})
+	if err != nil {
+		panic(err)
+	}
+	return res.Schedule, iters
 }
 
 // ApplySchedulePatch splices a re-solved region patch (a schedule over

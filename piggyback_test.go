@@ -1,7 +1,10 @@
 package piggyback
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 )
 
 // TestPublicAPIEndToEnd walks the README quick-start path through the
@@ -106,5 +109,95 @@ func TestBuilderAPI(t *testing.T) {
 	g2 := GraphFromEdges(3, []Edge{{From: 0, To: 1}})
 	if g2.NumEdges() != 1 {
 		t.Fatal("GraphFromEdges failed")
+	}
+}
+
+// TestSolverFacade walks the Solver API through the facade: registry
+// lookup, a full solve, cancellation with a valid best-so-far result,
+// and the typed error re-exports.
+func TestSolverFacade(t *testing.T) {
+	g := FlickrLikeGraph(200, 5)
+	r := LogDegreeRates(g, 5)
+
+	if got := Solvers(); len(got) < 6 {
+		t.Fatalf("Solvers() = %v, want the six built-ins", got)
+	}
+	if _, err := GetSolver("nosy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSolver("bogus", Options{}); !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("NewSolver(bogus) err = %v, want ErrUnknownSolver", err)
+	}
+
+	var events int
+	sv, err := NewSolver("nosy", Options{Progress: func(ProgressEvent) { events++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 || res.Report.Iterations != events {
+		t.Fatalf("progress events = %d, iterations = %d", events, res.Report.Iterations)
+	}
+
+	// Cancellation through the public surface.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = sv.Solve(ctx, Problem{Graph: g, Rates: r})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Schedule.Validate() != nil {
+		t.Fatal("canceled solve must return a valid best-so-far schedule")
+	}
+
+	// The deprecated wrappers ride on the same machinery.
+	ccSolver := NewChitChatSolver(ChitChatConfig{})
+	ccRes, err := ccSolver.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := ChitChat(g, r, ChitChatConfig{}); legacy.Cost(r) != ccRes.Report.Cost {
+		t.Fatalf("facade wrapper cost %v != solver cost %v", legacy.Cost(r), ccRes.Report.Cost)
+	}
+}
+
+// TestOnlineDaemonCtxAPI exercises the daemon's context surface: a
+// canceled context fails fast, and a (generous) ResolveTimeout passes
+// churn through unharmed.
+func TestOnlineDaemonCtxAPI(t *testing.T) {
+	g := FlickrLikeGraph(200, 5)
+	r := LogDegreeRates(g, 5)
+	sched := ChitChat(g, r, ChitChatConfig{})
+	trace := GenerateChurn(g, r, 200, ChurnConfig{Seed: 2})
+
+	regional, err := NewSolver("nosy", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewOnlineDaemon(sched, r, OnlineConfig{
+		Regional:       regional,
+		ResolveTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range trace {
+		if err := d.ApplyCtx(context.Background(), op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := d.ApplyCtx(ctx, trace[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyCtx on canceled ctx = %v, want context.Canceled", err)
 	}
 }
