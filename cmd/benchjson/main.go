@@ -21,21 +21,30 @@ import (
 
 // benchLine matches e.g. "BenchmarkChitChatWorkers1-4   2   194170926 ns/op".
 // The -N GOMAXPROCS suffix is folded into the bare benchmark name.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)`)
+
+// metricPair matches the trailing custom metrics a benchmark emits via
+// b.ReportMetric, e.g. "  123.4 peakRSS-MB  1.8 improvement".
+var metricPair = regexp.MustCompile(`([\d.eE+-]+) (\S+)`)
 
 type entry struct {
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	SecPerOp   float64 `json:"sec_per_op"`
+	// Metrics holds the benchmark's b.ReportMetric values by unit name
+	// (e.g. peakRSS-MB for the sharded-solve memory ceiling).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type report struct {
 	CPU        string           `json:"cpu,omitempty"`
+	Note       string           `json:"note,omitempty"`
 	Benchmarks map[string]entry `json:"benchmarks"`
 }
 
 func main() {
 	filter := flag.String("filter", "", "keep only benchmarks whose name matches this regexp (default: all)")
+	note := flag.String("note", "", "free-form note recorded in the JSON (e.g. what a custom metric means)")
 	out := flag.String("o", "", "output path (default: stdout)")
 	flag.Parse()
 
@@ -48,7 +57,7 @@ func main() {
 		}
 	}
 
-	rep := report{Benchmarks: map[string]entry{}}
+	rep := report{Note: *note, Benchmarks: map[string]entry{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -66,7 +75,21 @@ func main() {
 		if err1 != nil || err2 != nil {
 			continue
 		}
-		rep.Benchmarks[m[1]] = entry{Iterations: iters, NsPerOp: ns, SecPerOp: ns / 1e9}
+		e := entry{Iterations: iters, NsPerOp: ns, SecPerOp: ns / 1e9}
+		for _, mm := range metricPair.FindAllStringSubmatch(m[4], -1) {
+			// -benchmem's standard columns are derivable elsewhere; only
+			// the benchmark's own ReportMetric units are worth recording.
+			if mm[2] == "B/op" || mm[2] == "allocs/op" || mm[2] == "MB/s" {
+				continue
+			}
+			if v, err := strconv.ParseFloat(mm[1], 64); err == nil {
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[mm[2]] = v
+			}
+		}
+		rep.Benchmarks[m[1]] = e
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)

@@ -27,6 +27,7 @@ import (
 	"piggyback/internal/graphio"
 	"piggyback/internal/netstore"
 	"piggyback/internal/schedio"
+	_ "piggyback/internal/shard" // registers the "shard" solver
 	"piggyback/internal/solver"
 	"piggyback/internal/stats"
 	"piggyback/internal/store"

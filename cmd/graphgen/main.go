@@ -5,6 +5,7 @@
 //
 //	graphgen -preset twitter -nodes 10000 -seed 1 -o twitter.graph
 //	graphgen -preset er -nodes 1000 -edges 20000 -format text -o er.txt
+//	graphgen -preset flickr -scale 1000000 -o flickr1m.graph
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 		preset = flag.String("preset", "twitter", "graph shape: twitter | flickr | er | zipf")
 		nodes  = flag.Int("nodes", 10000, "number of nodes")
 		edges  = flag.Int("edges", 0, "number of edges (er preset; default 20×nodes)")
+		scale  = flag.Int("scale", 0, "target edge count; sizes the graph and switches to the O(n)-state streaming generator (twitter/flickr presets)")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		out    = flag.String("o", "", "output file (default stdout)")
 		format = flag.String("format", "binary", "output format: binary | text")
@@ -32,10 +34,21 @@ func main() {
 
 	var g *graph.Graph
 	switch *preset {
-	case "twitter":
-		g = graphgen.Social(graphgen.TwitterLike(*nodes, *seed))
-	case "flickr":
-		g = graphgen.Social(graphgen.FlickrLike(*nodes, *seed))
+	case "twitter", "flickr":
+		cfg := graphgen.TwitterLike(*nodes, *seed)
+		if *preset == "flickr" {
+			cfg = graphgen.FlickrLike(*nodes, *seed)
+		}
+		if *scale > 0 {
+			perNode := float64(cfg.AvgFollows) * (1 + cfg.Reciprocity)
+			cfg.Nodes = int(float64(*scale) / perNode)
+			if cfg.Nodes < 2 {
+				cfg.Nodes = 2
+			}
+			g = graphgen.StreamSocial(cfg)
+		} else {
+			g = graphgen.Social(cfg)
+		}
 	case "er":
 		m := *edges
 		if m == 0 {

@@ -28,6 +28,7 @@ import (
 	"piggyback/internal/graph"
 	"piggyback/internal/graphio"
 	"piggyback/internal/schedio"
+	_ "piggyback/internal/shard" // registers the "shard" solver
 	"piggyback/internal/solver"
 	"piggyback/internal/workload"
 )

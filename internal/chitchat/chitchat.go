@@ -10,18 +10,28 @@
 // weighted densest-subgraph oracle of package densest (Lemma 1), giving
 // an overall O(ln n) approximation (Theorem 4).
 //
-// The oracle is incremental: every hub-graph instance is materialized
-// once (CSR adjacency + weights, capped at Config.MaxCrossEdges
-// cross-edges) into a densest.Decremental, and a greedy commit only
-// removes the covered elements from the instances that actually contain
-// them (via an inverted edge → (hub, element) index) and zeroes the
-// support weights it paid. Re-evaluating a hub is then a re-peel of its
-// live sub-instance — no instance rebuild, no graph adjacency scans — and
-// a hub untouched by a commit keeps its oracle output with no work at
-// all. Because coverage is committed from the same materialized elements
-// the oracle counted, the claimed newlyCovered always equals the coverage
+// The oracle is incremental: a hub-graph instance is materialized (CSR
+// adjacency + weights, capped at Config.MaxCrossEdges cross-edges) into
+// a densest.Decremental, and a greedy commit only removes the covered
+// elements from the resident instances that actually contain them (via
+// an inverted edge → (hub, element) index) and zeroes the support
+// weights it paid. Re-evaluating a hub is then a re-peel of its live
+// sub-instance — no instance rebuild, no graph adjacency scans — and a
+// hub untouched by a commit keeps its oracle output with no work at all.
+// Because coverage is committed from the same materialized elements the
+// oracle counted, the claimed newlyCovered always equals the coverage
 // the commit performs, including when MaxCrossEdges truncates the
 // instance.
+//
+// Instances live in a generational store (instStore) that may spill them
+// under Config.InstanceBudget: an instance's live state is a pure
+// function of the shared solve state — an element is dead iff its graph
+// edge's uncovered bit is clear, a support weight is zero iff the
+// matching push/pull flag is set in the schedule — so a spilled instance
+// is rebuilt on demand by re-materializing and replaying those two
+// facts, and is indistinguishable from one that stayed resident. The
+// spill policy therefore cannot change the schedule: budgets only trade
+// rebuild work for peak memory.
 //
 // The paper's Algorithm 1 refreshes the oracle output of every affected
 // hub after each selection; we use a batched lazy-greedy variant instead:
@@ -83,6 +93,18 @@ type Config struct {
 	// schedule, and the schedule must not vary with the worker count —
 	// for any fixed RefreshBatch the result is worker-count invariant.
 	RefreshBatch int
+	// InstanceBudget bounds the total materialized hub-instance elements
+	// (support + cross edges) resident at once. 0 means unlimited: every
+	// instance is built once during initialization and stays resident for
+	// the whole solve — the fastest mode, with peak memory proportional
+	// to the total instance mass. A finite budget makes the store
+	// generational: instances untouched for a full generation are
+	// spilled (their memory released) and rebuilt on demand by replaying
+	// the uncovered set and the schedule's paid supports. Rebuilding
+	// reproduces the instance exactly, so the schedule is byte-identical
+	// for every budget; only time and peak memory change. A single
+	// instance larger than the budget is still materialized whole.
+	InstanceBudget int
 	// MemberCacheCap bounds how many oracle member lists are retained
 	// between evaluation and commit; 0 means DefaultMemberCacheCap.
 	// Priorities only need the (cost, covered) pair, which is stored flat
@@ -132,13 +154,31 @@ type cacheStats struct {
 	RetainedInts  int
 }
 
+// storeStats summarizes the instance store's behavior over one solve:
+// how many instances were materialized (Builds counts every
+// materialization; Rebuilds, a subset, the re-materializations of
+// spilled instances), how many were evicted, and the peak/final resident
+// element mass. Under a finite
+// budget, PeakElems staying near the budget while Builds+Rebuilds exceeds
+// the hub count is what "peak memory is O(budget), not O(total instance
+// mass)" means operationally.
+type storeStats struct {
+	Budget     int
+	Builds     int
+	Rebuilds   int
+	Evictions  int
+	PeakElems  int
+	FinalElems int
+}
+
 // Test hooks; nil outside tests. commitObserver reports, after every hub
 // commit, the coverage the oracle claimed against the coverage the commit
-// actually performed. cacheObserver reports member-cache statistics when
-// a solve finishes.
+// actually performed. cacheObserver reports member-cache statistics and
+// storeObserver instance-store statistics when a solve finishes.
 var (
 	commitObserver func(w graph.NodeID, claimed, covered int)
 	cacheObserver  func(cacheStats)
+	storeObserver  func(storeStats)
 )
 
 // Solve computes a request schedule for g under rates r. The result is
@@ -187,14 +227,20 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config
 		remaining: m,
 		q:         pq.New(n + m),
 		scs:       make([]*scratch, workers),
-		insts:     make([]*hubInstance, n),
+		inv:       make([][]invEntry, m),
+		hasInst:   make([]bool, n),
 		fresh:     make([]bool, n),
 		freshVal:  make([]hubVal, n),
 	}
 	sv.uncovered.SetAll()
 	sv.mcache.init(cfg.MemberCacheCap)
+	sv.store.init(n, cfg.InstanceBudget)
 	for i := range sv.scs {
 		sv.scs[i] = &scratch{yMark: make([]int64, n), yPos: make([]int32, n)}
+	}
+	for w := 0; w < n; w++ {
+		uid := graph.NodeID(w)
+		sv.hasInst[w] = len(g.InNeighbors(uid)) > 0 && len(g.OutNeighbors(uid)) > 0
 	}
 
 	// Singleton candidates never change ratio: c*(e) per single element.
@@ -203,24 +249,48 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config
 		return true
 	})
 
-	// Materialize every hub instance and evaluate it against the full
-	// ground set — the embarrassingly parallel bulk of the solve. The
-	// instances live for the whole solve; later commits only mutate them.
-	initRes := make([]hubEval, n)
-	initOK := make([]bool, n)
-	sv.forEach(n, func(i int, sc *scratch) {
-		w := graph.NodeID(i)
-		sv.insts[i] = buildHubInstance(g, r, w, cfg, sc)
-		initRes[i], initOK[i] = evalHub(sv.insts[i], cfg, sc)
-	})
-	sv.buildInvertedIndex()
+	// Seed the queue: evaluate every hub instance against the full ground
+	// set — the embarrassingly parallel bulk of the solve. Builds and
+	// evaluations fan out per chunk; adoption into the store (and the
+	// inverted index) is serial in hub order, and under a finite budget
+	// the store rotates as chunks register, so only the freshest ~budget
+	// elements of instance mass stay resident — peak memory during
+	// initialization is O(budget + chunk), not O(total instance mass).
+	chunk := 4 * workers
+	if chunk < 32 {
+		chunk = 32
+	}
+	tmp := make([]*hubInstance, chunk)
+	initRes := make([]hubEval, chunk)
+	initOK := make([]bool, chunk)
 	ids := make([]int32, 0, n)
 	prios := make([]float64, 0, n)
-	for w := 0; w < n; w++ {
-		if initOK[w] {
-			sv.setFresh(graph.NodeID(w), initRes[w])
+	for lo := 0; lo < n; lo += chunk {
+		k := chunk
+		if lo+k > n {
+			k = n - lo
+		}
+		sv.forEach(k, func(i int, sc *scratch) {
+			w := graph.NodeID(lo + i)
+			tmp[i] = buildHubInstance(g, r, w, cfg, sc)
+			initRes[i], initOK[i] = evalHub(tmp[i], cfg, sc)
+		})
+		for i := 0; i < k; i++ {
+			w := graph.NodeID(lo + i)
+			if tmp[i] == nil {
+				continue
+			}
+			if !initOK[i] {
+				// Unusable from the start (oracle keeps nothing): the hub
+				// never enters the queue, so its instance is never needed.
+				tmp[i] = nil
+				continue
+			}
+			sv.adoptInst(w, tmp[i])
+			sv.setFresh(w, initRes[i])
 			ids = append(ids, int32(w))
-			prios = append(prios, initRes[w].ratio())
+			prios = append(prios, initRes[i].ratio())
+			tmp[i] = nil
 		}
 	}
 	sv.q.PushBatch(ids, prios)
@@ -271,6 +341,16 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config
 			}
 		}
 		cacheObserver(st)
+	}
+	if storeObserver != nil {
+		storeObserver(storeStats{
+			Budget:     cfg.InstanceBudget,
+			Builds:     sv.store.builds,
+			Rebuilds:   sv.store.rebuilds,
+			Evictions:  sv.store.evictions,
+			PeakElems:  sv.store.peak,
+			FinalElems: sv.store.resident,
+		})
 	}
 	// Serve anything left directly: on the normal path this is defensive
 	// (singletons cover every edge); on the cancellation path it is the
@@ -330,15 +410,18 @@ type solver struct {
 	q         *pq.IndexedMin
 	scs       []*scratch // one per worker
 
-	// insts[w] is hub w's materialized decremental oracle instance (nil
-	// when w has no producers or no consumers). invOff/invHub/invIdx form
-	// a CSR inverted index from graph edge id to every (hub, element)
-	// pair that materialized it, so covering an edge removes exactly the
-	// affected elements.
-	insts  []*hubInstance
-	invOff []int32
-	invHub []int32
-	invIdx []int32
+	// store holds the resident hub instances under the element budget;
+	// hasInst[w] records whether hub w has an instance at all (producers
+	// and consumers both nonempty) — a graph property, independent of
+	// residency. inv[e] lists the (hub, element) pairs of every RESIDENT
+	// instance that materialized the still-uncovered graph edge e, so
+	// covering an edge removes exactly the affected elements; spilled
+	// instances learn about coverage when they are rebuilt (adoptInst
+	// replays the uncovered set). The bucket is dropped whole once e is
+	// covered.
+	store   instStore
+	hasInst []bool
+	inv     [][]invEntry
 
 	// Freshness: fresh[w] means freshVal[w] matches the CURRENT state of
 	// instance w — no commit removed one of its elements or zeroed one of
@@ -480,41 +563,175 @@ func buildHubInstance(g *graph.Graph, r *workload.Rates, w graph.NodeID,
 	}
 }
 
-// buildInvertedIndex fills the edge → (hub, element) CSR index over every
-// materialized instance edge. One sequential pass; total size equals the
-// sum of all instance sizes, the same data the instances already hold.
-func (sv *solver) buildInvertedIndex() {
-	m := sv.g.NumEdges()
-	off := make([]int32, m+1)
-	total := 0
-	for _, hi := range sv.insts {
-		if hi == nil {
+// invEntry locates one materialized element of a resident hub instance:
+// element elem of instance hub is graph edge e for every entry in inv[e].
+type invEntry struct {
+	hub  int32
+	elem int32
+}
+
+// instStore is the generational spill store for hub instances. All
+// mutation happens on the solve goroutine; the parallel oracle phases
+// only read resident instances (which pinning keeps resident). Two
+// generations are tracked: instances touched in the current generation
+// and instances from the previous one. When the current generation's
+// element mass reaches half the budget the store rotates — everything
+// still stranded in the previous generation is evicted — so at most
+// ~budget elements stay resident and eviction bookkeeping is O(1) per
+// touch. With budget 0 rotation never fires and every instance is
+// permanent, reproducing the fully-resident behavior.
+type instStore struct {
+	budget   int
+	insts    []*hubInstance
+	genOf    []int64 // generation the hub was last touched in
+	curGen   int64
+	curHubs  []graph.NodeID // hubs touched in the current generation
+	prevHubs []graph.NodeID // hubs from the previous generation
+	curElems int            // element mass touched this generation
+	pinOf    []int64        // pinOf[w] == pinGen pins w across a rotation
+	pinGen   int64
+
+	resident  int // resident element mass
+	peak      int
+	builds    int
+	rebuilds  int
+	evictions int
+}
+
+func (st *instStore) init(n, budget int) {
+	st.budget = budget
+	st.insts = make([]*hubInstance, n)
+	st.genOf = make([]int64, n)
+	st.pinOf = make([]int64, n)
+	st.curGen = 1
+	st.pinGen = 1
+}
+
+// ensureInst returns hub w's instance, rebuilding it if it was spilled
+// (or never usable enough to keep — both look the same to the store) and
+// touching it into the current generation. Returns nil only for hubs
+// with no instance at all. Must run on the solve goroutine.
+func (sv *solver) ensureInst(w graph.NodeID) *hubInstance {
+	if !sv.hasInst[w] {
+		return nil
+	}
+	hi := sv.store.insts[w]
+	if hi == nil {
+		hi = buildHubInstance(sv.g, sv.r, w, sv.cfg, sv.scs[0])
+		sv.store.rebuilds++
+		sv.adoptInst(w, hi)
+		return hi
+	}
+	sv.touchInst(w, len(hi.gid))
+	return hi
+}
+
+// adoptInst takes ownership of a freshly built instance for hub w:
+// replays the solve history recorded in the shared state (elements whose
+// graph edge is already covered are removed; supports whose push/pull is
+// already scheduled are weightless — see the package comment for why
+// this replay reproduces the instance exactly), registers the live
+// elements in the inverted index, and touches w into the current
+// generation. The replay is a no-op for the initial builds, where
+// nothing is covered or paid yet.
+func (sv *solver) adoptInst(w graph.NodeID, hi *hubInstance) {
+	st := &sv.store
+	for ei, e := range hi.gid {
+		if sv.uncovered.Test(int(e)) {
+			sv.inv[e] = append(sv.inv[e], invEntry{int32(w), int32(ei)})
+		} else {
+			hi.d.RemoveEdge(ei)
+		}
+	}
+	for i := range hi.xs {
+		if sv.s.IsPush(hi.xIDs[i]) {
+			hi.d.ZeroWeight(i)
+		}
+	}
+	for j := range hi.ys {
+		if sv.s.IsPull(hi.yLo + graph.EdgeID(j)) {
+			hi.d.ZeroWeight(hi.nx + j)
+		}
+	}
+	st.insts[w] = hi
+	st.resident += len(hi.gid)
+	if st.resident > st.peak {
+		st.peak = st.resident
+	}
+	st.builds++
+	sv.touchInst(w, len(hi.gid))
+}
+
+// touchInst stamps hub w into the current store generation, rotating the
+// store when the generation fills up.
+func (sv *solver) touchInst(w graph.NodeID, elems int) {
+	st := &sv.store
+	if st.genOf[w] == st.curGen {
+		return
+	}
+	st.genOf[w] = st.curGen
+	st.curHubs = append(st.curHubs, w)
+	st.curElems += elems
+	if st.budget > 0 && st.curElems >= st.budget/2 {
+		sv.rotateStore()
+	}
+}
+
+// rotateStore starts a new generation: instances from the previous
+// generation that were not touched since are evicted (pinned ones roll
+// forward instead), the current generation becomes the previous one.
+func (sv *solver) rotateStore() {
+	st := &sv.store
+	old := st.prevHubs
+	carried := old[:0]
+	for _, w := range old {
+		if st.genOf[w] == st.curGen || st.insts[w] == nil {
+			continue // re-touched since (tracked in curHubs) or already gone
+		}
+		if st.pinOf[w] == st.pinGen {
+			carried = append(carried, w)
 			continue
 		}
-		total += len(hi.gid)
-		for _, e := range hi.gid {
-			off[e+1]++
-		}
+		sv.evictInst(w)
 	}
-	for i := 0; i < m; i++ {
-		off[i+1] += off[i]
+	st.prevHubs = st.curHubs
+	st.curGen++
+	st.curElems = 0
+	st.curHubs = carried // pinned survivors open the new generation
+	for _, w := range carried {
+		st.genOf[w] = st.curGen
+		st.curElems += len(st.insts[w].gid)
 	}
-	hubs := make([]int32, total)
-	idxs := make([]int32, total)
-	cur := make([]int32, m)
-	copy(cur, off[:m])
-	for w, hi := range sv.insts {
-		if hi == nil {
+}
+
+// evictInst spills hub w's instance: its live elements leave the
+// inverted index (swap-remove from each bucket; bucket order is
+// irrelevant — entries only fan out independent RemoveEdge calls) and
+// its memory is released. The hub's cached evaluation goes stale — a
+// spilled instance cannot observe later coverage, so it must be
+// re-evaluated (after a rebuild) before it may be committed. Eviction
+// never changes the instance's logical state, so the queue entry remains
+// the exact current ratio — a valid lower bound.
+func (sv *solver) evictInst(w graph.NodeID) {
+	st := &sv.store
+	hi := st.insts[w]
+	for ei, e := range hi.gid {
+		if !sv.uncovered.Test(int(e)) {
 			continue
 		}
-		for ei, e := range hi.gid {
-			p := cur[e]
-			hubs[p] = int32(w)
-			idxs[p] = int32(ei)
-			cur[e] = p + 1
+		bucket := sv.inv[e]
+		for t, en := range bucket {
+			if en.hub == int32(w) && en.elem == int32(ei) {
+				bucket[t] = bucket[len(bucket)-1]
+				sv.inv[e] = bucket[:len(bucket)-1]
+				break
+			}
 		}
 	}
-	sv.invOff, sv.invHub, sv.invIdx = off, hubs, idxs
+	st.insts[w] = nil
+	st.resident -= len(hi.gid)
+	st.evictions++
+	sv.fresh[w] = false
 }
 
 // forEach runs fn(i, scratch) for i in [0, k), fanning out across the
@@ -552,47 +769,57 @@ func (sv *solver) forEach(k int, fn func(i int, sc *scratch)) {
 }
 
 // coverEdge removes graph edge e from the uncovered ground set and, via
-// the inverted index, deletes its element from every instance that
-// materialized it. Those hubs' cached evaluations may now overstate
-// coverage, so they go stale; their queue entries remain valid lower
-// bounds (element loss only worsens a ratio) until lazily refreshed.
+// the inverted index, deletes its element from every RESIDENT instance
+// that materialized it (spilled instances replay the uncovered set when
+// rebuilt). Those hubs' cached evaluations may now overstate coverage,
+// so they go stale; their queue entries remain valid lower bounds
+// (element loss only worsens a ratio) until lazily refreshed.
 func (sv *solver) coverEdge(e graph.EdgeID) {
 	if !sv.uncovered.Test(int(e)) {
 		return
 	}
 	sv.uncovered.Clear(int(e))
 	sv.remaining--
-	for t := sv.invOff[e]; t < sv.invOff[e+1]; t++ {
-		h := sv.invHub[t]
-		if sv.insts[h].d.RemoveEdge(int(sv.invIdx[t])) {
-			sv.fresh[h] = false
+	for _, en := range sv.inv[e] {
+		if sv.store.insts[en.hub].d.RemoveEdge(int(en.elem)) {
+			sv.fresh[en.hub] = false
 		}
 	}
+	sv.inv[e] = nil
 }
 
 // commitSingleton serves edge e directly at the hybrid cost. Paying for
 // the push (or pull) zeroes the matching support weight in the one hub
 // instance that uses it, which can only IMPROVE that hub's ratio — so it
-// is re-evaluated eagerly to keep every queue entry a lower bound.
+// is re-evaluated eagerly to keep every queue entry a lower bound. The
+// affected hub is determined by graph structure alone (the edge is
+// always a support of its endpoint's maximal hub-graph when that hub has
+// an instance), so the eager refresh fires identically whether the
+// instance is resident — weight zeroed in place — or spilled — the
+// zeroing is replayed from the schedule flag on rebuild.
 func (sv *solver) commitSingleton(e graph.EdgeID) {
 	u := sv.g.EdgeSource(e)
 	v := sv.g.EdgeTarget(e)
 	improved := graph.NodeID(-1)
 	if sv.r.Prod[u] <= sv.r.Cons[v] {
 		sv.s.SetPush(e)
-		if hi := sv.insts[v]; hi != nil {
-			if i, ok := hi.xIndex(u); ok {
-				hi.d.ZeroWeight(i)
-				improved = v
+		if sv.hasInst[v] {
+			if hi := sv.store.insts[v]; hi != nil {
+				if i, ok := hi.xIndex(u); ok {
+					hi.d.ZeroWeight(i)
+				}
 			}
+			improved = v
 		}
 	} else {
 		sv.s.SetPull(e)
-		if hi := sv.insts[u]; hi != nil {
-			if j, ok := hi.yIndex(v); ok {
-				hi.d.ZeroWeight(j)
-				improved = u
+		if sv.hasInst[u] {
+			if hi := sv.store.insts[u]; hi != nil {
+				if j, ok := hi.yIndex(v); ok {
+					hi.d.ZeroWeight(j)
+				}
 			}
+			improved = u
 		}
 	}
 	sv.coverEdge(e)
@@ -614,7 +841,10 @@ func (sv *solver) commitSingleton(e graph.EdgeID) {
 // it is re-evaluated immediately and re-queued if it still covers
 // anything.
 func (sv *solver) commitHub(w graph.NodeID) {
-	hi := sv.insts[w]
+	// A committable hub is fresh, and fresh implies resident (eviction
+	// clears freshness), so this is a touch; ensureInst keeps the
+	// invariant local all the same.
+	hi := sv.ensureInst(w)
 	members := sv.cachedMembers(w)
 	if members == nil {
 		// Evicted from the bounded member cache. The instance is unchanged
@@ -679,7 +909,7 @@ func (sv *solver) commitHub(w graph.NodeID) {
 // re-inserts it when it still covers something; otherwise the hub is
 // exhausted and stays out for good.
 func (sv *solver) reEval(w graph.NodeID) {
-	ev, ok := evalHub(sv.insts[w], sv.cfg, sv.scs[0])
+	ev, ok := evalHub(sv.ensureInst(w), sv.cfg, sv.scs[0])
 	if !ok || ev.newlyCovered == 0 {
 		sv.fresh[w] = false
 		return
@@ -700,7 +930,7 @@ func (sv *solver) refreshHead() {
 	id, _ := sv.q.Min() // caller established: a hub with a stale entry
 	sv.q.PopMin()
 	w := graph.NodeID(id)
-	ev, ok := evalHub(sv.insts[w], sv.cfg, sv.scs[0])
+	ev, ok := evalHub(sv.ensureInst(w), sv.cfg, sv.scs[0])
 	if !ok || ev.newlyCovered == 0 {
 		sv.fresh[w] = false
 		return // exhausted hub; it never regains value
@@ -740,9 +970,21 @@ func (sv *solver) evalBatch(batch []graph.NodeID) {
 	}
 	res := sv.batchRes[:len(batch)]
 	ok := sv.batchOK[:len(batch)]
+	// Residency changes (materialize, evict) happen here on the solve
+	// goroutine; the parallel phase below only reads. Pinning keeps a
+	// store rotation triggered by a later ensure from evicting an
+	// earlier batch member before its evaluation runs.
+	sv.store.pinGen++
+	for _, w := range batch {
+		sv.store.pinOf[w] = sv.store.pinGen
+	}
+	for _, w := range batch {
+		sv.ensureInst(w)
+	}
 	sv.forEach(len(batch), func(i int, sc *scratch) {
-		res[i], ok[i] = evalHub(sv.insts[batch[i]], sv.cfg, sc)
+		res[i], ok[i] = evalHub(sv.store.insts[batch[i]], sv.cfg, sc)
 	})
+	sv.store.pinGen++ // unpin
 	ids := sv.insIDs[:0]
 	prios := sv.insPrios[:0]
 	for i, w := range batch {

@@ -374,3 +374,82 @@ func TestSolveInducedPatchRoundTrip(t *testing.T) {
 		t.Fatalf("spliced schedule invalid: %v", err)
 	}
 }
+
+// TestInstanceBudgetInvariance pins the spillable instance store's core
+// contract: the schedule is byte-identical for every InstanceBudget (and
+// worker count on top), because a rebuilt instance replays the uncovered
+// set and the paid supports and is therefore indistinguishable from one
+// that stayed resident. A tight budget must actually spill (evictions,
+// rebuilds) and hold peak resident mass far below the unlimited run.
+func TestInstanceBudgetInvariance(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(scaled(300, 150), 7))
+	r := workload.LogDegree(g, 5)
+
+	var stats []storeStats
+	storeObserver = func(st storeStats) { stats = append(stats, st) }
+	defer func() { storeObserver = nil }()
+
+	ref := Solve(g, r, Config{Workers: 1})
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	unlimited := stats[0]
+	if unlimited.Evictions != 0 || unlimited.Rebuilds != 0 {
+		t.Fatalf("unlimited budget spilled: %+v", unlimited)
+	}
+	budget := unlimited.PeakElems / 8
+	if budget < 16 {
+		budget = 16
+	}
+	for _, workers := range []int{1, 4} {
+		stats = stats[:0]
+		got := Solve(g, r, Config{Workers: workers, InstanceBudget: budget})
+		st := stats[0]
+		if st.Evictions == 0 || st.Rebuilds == 0 {
+			t.Fatalf("budget %d workers %d never spilled: %+v", budget, workers, st)
+		}
+		if st.PeakElems >= unlimited.PeakElems {
+			t.Fatalf("budget %d peak %d not below unlimited peak %d",
+				budget, st.PeakElems, unlimited.PeakElems)
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			ee := graph.EdgeID(e)
+			if got.IsPush(ee) != ref.IsPush(ee) ||
+				got.IsPull(ee) != ref.IsPull(ee) ||
+				got.IsCovered(ee) != ref.IsCovered(ee) {
+				t.Fatalf("budget=%d workers=%d schedule differs at edge %d", budget, workers, e)
+			}
+			if ref.IsCovered(ee) && got.Hub(ee) != ref.Hub(ee) {
+				t.Fatalf("budget=%d workers=%d hub differs at edge %d: %d vs %d",
+					budget, workers, e, got.Hub(ee), ref.Hub(ee))
+			}
+		}
+		t.Logf("budget=%d workers=%d: builds=%d rebuilds=%d evictions=%d peak=%d (unlimited peak %d)",
+			budget, workers, st.Builds, st.Rebuilds, st.Evictions, st.PeakElems, unlimited.PeakElems)
+	}
+}
+
+// TestInstanceBudgetTinyStillValid drives the store to its degenerate
+// extreme — a budget smaller than any single instance, so nearly every
+// touch rotates — and checks the solve still terminates with a valid,
+// identical schedule.
+func TestInstanceBudgetTinyStillValid(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(scaled(200, 100), 3))
+	r := workload.LogDegree(g, 5)
+	ref := Solve(g, r, Config{Workers: 1})
+	got := Solve(g, r, Config{Workers: 1, InstanceBudget: 1})
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost(r) != ref.Cost(r) {
+		t.Fatalf("budget=1 cost %v differs from unlimited %v", got.Cost(r), ref.Cost(r))
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ee := graph.EdgeID(e)
+		if got.IsPush(ee) != ref.IsPush(ee) ||
+			got.IsPull(ee) != ref.IsPull(ee) ||
+			got.IsCovered(ee) != ref.IsCovered(ee) {
+			t.Fatalf("budget=1 schedule differs at edge %d", e)
+		}
+	}
+}

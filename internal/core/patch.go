@@ -57,8 +57,22 @@ func (s *Schedule) ClearEdge(e graph.EdgeID) {
 //
 // It returns the number of boundary repairs performed.
 func ApplyPatch(s *Schedule, sub *graph.Subgraph, patch *Schedule, r *workload.Rates) (int, error) {
+	if err := Splice(s, sub, patch); err != nil {
+		return 0, err
+	}
+	return RepairCoverage(s, r), nil
+}
+
+// Splice is ApplyPatch without the repair pass: it writes patch's
+// assignments into s and leaves any exterior coverage whose support the
+// patch cleared unrepaired. Callers splicing SEVERAL patches — the
+// sharded solver merging node-disjoint per-shard schedules — use it to
+// pay RepairCoverage's full-graph sweep once after the last splice
+// instead of once per patch. A schedule holding un-repaired splices is
+// not necessarily valid; it must not escape before RepairCoverage runs.
+func Splice(s *Schedule, sub *graph.Subgraph, patch *Schedule) error {
 	if patch.Graph() != sub.G {
-		return 0, fmt.Errorf("core: patch schedule is not over the subgraph")
+		return fmt.Errorf("core: patch schedule is not over the subgraph")
 	}
 	// Resolve the whole sub → parent edge mapping BEFORE writing
 	// anything: a stale subgraph (an edge since removed from s's graph)
@@ -76,7 +90,7 @@ func ApplyPatch(s *Schedule, sub *graph.Subgraph, patch *Schedule, r *workload.R
 		return true
 	})
 	if err != nil {
-		return 0, err
+		return err
 	}
 	sub.G.Edges(func(pe graph.EdgeID, lu, lv graph.NodeID) bool {
 		ge := gids[pe]
@@ -92,7 +106,7 @@ func ApplyPatch(s *Schedule, sub *graph.Subgraph, patch *Schedule, r *workload.R
 		}
 		return true
 	})
-	return RepairCoverage(s, r), nil
+	return nil
 }
 
 // RepairCoverage restores the validity of covered edges whose hub

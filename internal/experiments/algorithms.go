@@ -5,6 +5,7 @@ import (
 
 	"piggyback/internal/baseline"
 	"piggyback/internal/graph"
+	_ "piggyback/internal/shard" // registers the "shard" solver
 	"piggyback/internal/solver"
 	"piggyback/internal/workload"
 )

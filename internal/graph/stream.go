@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrStreamMismatch reports that a StreamBuilder's two passes disagreed:
+// the fill pass presented a different edge stream than the count pass, or
+// the stream contained a duplicate edge.
+var ErrStreamMismatch = errors.New("graph: stream passes disagree or stream has duplicate edges")
+
+// StreamBuilder freezes an edge stream into a Graph in two passes without
+// ever materializing an edge list: the count pass sizes the CSR arrays,
+// the fill pass writes adjacency straight into them. Peak memory is the
+// final graph plus O(n) cursors — roughly half of Builder's peak, which
+// holds the unsorted edge list alongside the CSR it builds. That is what
+// makes million-edge generation fit small containers.
+//
+// Contract: the caller replays the identical edge stream to CountEdge and
+// then to PlaceEdge (deterministic generators replay for free by
+// re-seeding). Self-loops are silently dropped, as in Builder.AddEdge;
+// out-of-range endpoints panic wrapping ErrEdgeOutOfRange. Unlike
+// Builder, duplicate edges are not deduplicated — Build panics wrapping
+// ErrStreamMismatch, as it does when the two passes diverge.
+//
+//	sb := graph.NewStreamBuilder(n)
+//	gen(sb.CountEdge) // pass 1
+//	sb.BeginFill()
+//	gen(sb.PlaceEdge) // pass 2, identical stream
+//	g := sb.Build()
+type StreamBuilder struct {
+	n        int
+	filling  bool
+	outStart []int32
+	inStart  []int32
+	outAdj   []NodeID
+	cursor   []int32
+}
+
+// NewStreamBuilder returns a stream builder for a graph with n nodes,
+// ready for the count pass.
+func NewStreamBuilder(n int) *StreamBuilder {
+	return &StreamBuilder{
+		n:        n,
+		outStart: make([]int32, n+1),
+		inStart:  make([]int32, n+1),
+	}
+}
+
+func (sb *StreamBuilder) check(u, v NodeID) bool {
+	if int(u) < 0 || int(u) >= sb.n || int(v) < 0 || int(v) >= sb.n {
+		panic(fmt.Errorf("%w: edge (%d,%d) outside [0,%d)", ErrEdgeOutOfRange, u, v, sb.n))
+	}
+	return u != v
+}
+
+// CountEdge records the edge u → v during the count pass.
+func (sb *StreamBuilder) CountEdge(u, v NodeID) {
+	if !sb.check(u, v) {
+		return
+	}
+	sb.outStart[u+1]++
+	sb.inStart[v+1]++
+}
+
+// BeginFill ends the count pass: it freezes the CSR offsets and allocates
+// the out-adjacency storage the fill pass writes into.
+func (sb *StreamBuilder) BeginFill() {
+	for i := 0; i < sb.n; i++ {
+		sb.outStart[i+1] += sb.outStart[i]
+		sb.inStart[i+1] += sb.inStart[i]
+	}
+	sb.outAdj = make([]NodeID, sb.outStart[sb.n])
+	sb.cursor = make([]int32, sb.n)
+	copy(sb.cursor, sb.outStart[:sb.n])
+	sb.filling = true
+}
+
+// PlaceEdge records the edge u → v during the fill pass. The fill stream
+// must repeat the count stream exactly.
+func (sb *StreamBuilder) PlaceEdge(u, v NodeID) {
+	if !sb.check(u, v) {
+		return
+	}
+	c := sb.cursor[u]
+	if c >= sb.outStart[u+1] {
+		panic(fmt.Errorf("%w: node %d got more out-edges in fill than in count", ErrStreamMismatch, u))
+	}
+	sb.outAdj[c] = v
+	sb.cursor[u] = c + 1
+}
+
+// Build verifies the passes agree, sorts each node's out-neighbors into
+// id order (fixing edge ids independent of stream order, exactly as
+// Builder does), and derives the in-adjacency.
+func (sb *StreamBuilder) Build() *Graph {
+	if !sb.filling {
+		sb.BeginFill() // empty stream: both passes were vacuous
+	}
+	g := &Graph{
+		n:        sb.n,
+		outStart: sb.outStart,
+		outAdj:   sb.outAdj,
+		inStart:  sb.inStart,
+		inAdj:    make([]NodeID, len(sb.outAdj)),
+		inEdge:   make([]EdgeID, len(sb.outAdj)),
+	}
+	for u := 0; u < sb.n; u++ {
+		lo, hi := g.outStart[u], g.outStart[u+1]
+		if sb.cursor[u] != hi {
+			panic(fmt.Errorf("%w: node %d got %d out-edges in fill, %d in count",
+				ErrStreamMismatch, u, sb.cursor[u]-lo, hi-lo))
+		}
+		bucket := g.outAdj[lo:hi]
+		sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		for i := 1; i < len(bucket); i++ {
+			if bucket[i] == bucket[i-1] {
+				panic(fmt.Errorf("%w: duplicate edge (%d,%d)", ErrStreamMismatch, u, bucket[i]))
+			}
+		}
+	}
+	// Same derivation as Builder.Build: edges visited in (From, To) order,
+	// so each target's in-list comes out sorted by source.
+	cursor := sb.cursor // reuse: rewritten below before each read
+	copy(cursor, g.inStart[:sb.n])
+	for u := 0; u < sb.n; u++ {
+		lo, hi := g.outStart[u], g.outStart[u+1]
+		for e := lo; e < hi; e++ {
+			v := g.outAdj[e]
+			p := cursor[v]
+			g.inAdj[p] = NodeID(u)
+			g.inEdge[p] = EdgeID(e)
+			cursor[v] = p + 1
+		}
+	}
+	return g
+}

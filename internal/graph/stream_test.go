@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// A StreamBuilder fed the same edge set as a Builder must freeze the
+// identical CSR: same edge ids, same adjacency, same in-index.
+func TestStreamBuilderMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 80
+	seen := map[Edge]bool{}
+	var edges []Edge
+	for len(edges) < 600 {
+		e := Edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))}
+		if e.From == e.To || seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To)
+	}
+	want := b.Build()
+
+	sb := NewStreamBuilder(n)
+	for _, e := range edges {
+		sb.CountEdge(e.From, e.To)
+	}
+	sb.BeginFill()
+	for _, e := range edges {
+		sb.PlaceEdge(e.From, e.To)
+	}
+	got := sb.Build()
+
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), want.NumNodes(), got.NumEdges(), want.NumEdges())
+	}
+	for e := 0; e < want.NumEdges(); e++ {
+		if got.EdgeAt(EdgeID(e)) != want.EdgeAt(EdgeID(e)) {
+			t.Fatalf("edge %d: got %v want %v", e, got.EdgeAt(EdgeID(e)), want.EdgeAt(EdgeID(e)))
+		}
+	}
+	for u := 0; u < n; u++ {
+		uid := NodeID(u)
+		gin, win := got.InEdgeIDs(uid), want.InEdgeIDs(uid)
+		if len(gin) != len(win) {
+			t.Fatalf("node %d in-degree: got %d want %d", u, len(gin), len(win))
+		}
+		for i := range gin {
+			if gin[i] != win[i] {
+				t.Fatalf("node %d in-edge %d: got %d want %d", u, i, gin[i], win[i])
+			}
+		}
+	}
+}
+
+func TestStreamBuilderSkipsSelfLoops(t *testing.T) {
+	sb := NewStreamBuilder(3)
+	sb.CountEdge(0, 0)
+	sb.CountEdge(0, 1)
+	sb.BeginFill()
+	sb.PlaceEdge(0, 0)
+	sb.PlaceEdge(0, 1)
+	if g := sb.Build(); g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestStreamBuilderEmpty(t *testing.T) {
+	if g := NewStreamBuilder(5).Build(); g.NumEdges() != 0 || g.NumNodes() != 5 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestStreamBuilderPanicsOnMismatch(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if err, ok := p.(error); !ok || !errors.Is(err, ErrStreamMismatch) {
+				t.Fatalf("%s: panic %v, want ErrStreamMismatch", name, p)
+			}
+		}()
+		fn()
+	}
+	check("duplicate edge", func() {
+		sb := NewStreamBuilder(3)
+		sb.CountEdge(0, 1)
+		sb.CountEdge(0, 1)
+		sb.BeginFill()
+		sb.PlaceEdge(0, 1)
+		sb.PlaceEdge(0, 1)
+		sb.Build()
+	})
+	check("fill exceeds count", func() {
+		sb := NewStreamBuilder(3)
+		sb.CountEdge(0, 1)
+		sb.BeginFill()
+		sb.PlaceEdge(0, 1)
+		sb.PlaceEdge(0, 2)
+	})
+	check("fill under count", func() {
+		sb := NewStreamBuilder(3)
+		sb.CountEdge(0, 1)
+		sb.CountEdge(0, 2)
+		sb.BeginFill()
+		sb.PlaceEdge(0, 1)
+		sb.Build()
+	})
+}

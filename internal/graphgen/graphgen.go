@@ -113,6 +113,174 @@ func Social(cfg Config) *graph.Graph {
 	return b.Build()
 }
 
+// FlickrLikeEdges returns the Flickr-like preset sized so the generated
+// graph has approximately m edges — the entry point for the million-edge
+// benchmarks (≈47 edges arrive per node: AvgFollows follows plus
+// reciprocations). Pair it with StreamSocial; at these sizes the
+// edge-list generator's intermediates are the dominant allocation.
+func FlickrLikeEdges(m int, seed int64) Config {
+	cfg := FlickrLike(2, seed)
+	perNode := float64(cfg.AvgFollows) * (1 + cfg.Reciprocity)
+	n := int(float64(m) / perNode)
+	if n < 2 {
+		n = 2
+	}
+	cfg.Nodes = n
+	return cfg
+}
+
+// StreamSocial generates the same style of graph as Social with O(n)
+// generator state, built for million-edge scale. Three substitutions keep
+// the state small without changing the graph's character:
+//
+//   - Preferential attachment draws from a Fenwick tree over per-node
+//     ticket counts (O(log n) per draw) instead of an O(m) ticket array.
+//   - Triadic closure samples from a fixed-size reservoir of each node's
+//     followees instead of full followee lists.
+//   - The CSR is built by replaying the deterministic edge stream through
+//     graph.NewStreamBuilder's two passes, so no edge-list intermediate
+//     is ever materialized.
+//
+// Deterministic given cfg.Seed, like every generator here. The schedule
+// of RNG draws differs from Social's, so StreamSocial(cfg) and
+// Social(cfg) are distinct (same-shaped) graphs.
+func StreamSocial(cfg Config) *graph.Graph {
+	n := cfg.Nodes
+	if n < 2 {
+		return graph.FromEdges(maxInt(n, 0), nil)
+	}
+	sb := graph.NewStreamBuilder(n)
+	streamSocialPass(cfg, sb.CountEdge)
+	sb.BeginFill()
+	streamSocialPass(cfg, sb.PlaceEdge)
+	return sb.Build()
+}
+
+// reservoirSize bounds the per-node followee sample kept for triadic
+// closure in StreamSocial.
+const reservoirSize = 8
+
+// streamSocialPass runs one full deterministic generation pass, emitting
+// every edge u → v exactly once. All state is created inside the pass, so
+// replaying it with the same cfg yields a byte-identical stream.
+func streamSocialPass(cfg Config, emit func(u, v graph.NodeID)) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Nodes
+	fen := newFenwick(n)
+	// Flat per-node reservoirs: res[v*reservoirSize : ...] holds up to
+	// resLen[v] followees of v; resSeen[v] counts all followees ever seen,
+	// driving standard reservoir sampling.
+	res := make([]graph.NodeID, n*reservoirSize)
+	resLen := make([]uint8, n)
+	resSeen := make([]int32, n)
+	sawFollowee := func(v, u graph.NodeID) {
+		resSeen[v]++
+		if int(resLen[v]) < reservoirSize {
+			res[int(v)*reservoirSize+int(resLen[v])] = u
+			resLen[v]++
+			return
+		}
+		if j := rng.Intn(int(resSeen[v])); j < reservoirSize {
+			res[int(v)*reservoirSize+j] = u
+		}
+	}
+
+	// Seed: a complete digraph on the first few nodes, giving preferential
+	// attachment its first tickets. Emitted pair-by-pair without RNG so the
+	// seed never produces duplicate edges (Social's reciprocity draws can,
+	// relying on Builder dedup that a stream does not get).
+	seedSize := minInt(4, n)
+	for i := 0; i < seedSize; i++ {
+		for j := 0; j < seedSize; j++ {
+			if i == j {
+				continue
+			}
+			// j → i: node i follows (subscribes to) node j.
+			emit(graph.NodeID(j), graph.NodeID(i))
+			fen.add(j, 1)
+			sawFollowee(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+
+	targets := make([]graph.NodeID, 0, cfg.AvgFollows*2)
+	for v := seedSize; v < n; v++ {
+		vid := graph.NodeID(v)
+		k := jitter(rng, cfg.AvgFollows)
+		targets = targets[:0]
+		var prev graph.NodeID = -1
+		for f := 0; f < k; f++ {
+			var target graph.NodeID = -1
+			if prev >= 0 && cfg.TriadProb > 0 && rng.Float64() < cfg.TriadProb {
+				if l := int(resLen[prev]); l > 0 {
+					target = res[int(prev)*reservoirSize+rng.Intn(l)]
+				}
+			}
+			if target < 0 {
+				target = graph.NodeID(fen.find(rng.Int63n(fen.total)))
+			}
+			if target == vid || contains(targets, target) {
+				continue
+			}
+			targets = append(targets, target)
+			emit(target, vid)
+			fen.add(int(target), 1)
+			sawFollowee(vid, target)
+			if rng.Float64() < cfg.Reciprocity {
+				emit(vid, target)
+				fen.add(v, 1)
+				sawFollowee(target, vid)
+			}
+			prev = target
+		}
+	}
+}
+
+func contains(s []graph.NodeID, x graph.NodeID) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// fenwick is a binary indexed tree over per-node ticket counts supporting
+// O(log n) point updates and weighted sampling — the O(n)-state stand-in
+// for the ticket array.
+type fenwick struct {
+	tree  []int64 // 1-indexed partial sums
+	total int64
+	log   int // largest power of two ≤ len(tree)-1
+}
+
+func newFenwick(n int) *fenwick {
+	f := &fenwick{tree: make([]int64, n+1), log: 1}
+	for f.log*2 <= n {
+		f.log *= 2
+	}
+	return f
+}
+
+func (f *fenwick) add(i int, d int64) {
+	f.total += d
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += d
+	}
+}
+
+// find returns the smallest node id whose prefix sum exceeds r, i.e. the
+// node owning ticket r in 0 ≤ r < total.
+func (f *fenwick) find(r int64) int {
+	pos := 0
+	for pw := f.log; pw > 0; pw >>= 1 {
+		if next := pos + pw; next < len(f.tree) && f.tree[next] <= r {
+			pos = next
+			r -= f.tree[next]
+		}
+	}
+	return pos
+}
+
 // jitter returns a value around avg: avg ± up to 50%, at least 1.
 func jitter(rng *rand.Rand, avg int) int {
 	if avg <= 1 {

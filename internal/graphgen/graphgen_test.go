@@ -122,3 +122,67 @@ func TestJitterBounds(t *testing.T) {
 		t.Fatal("jitter should floor at 1")
 	}
 }
+
+func TestStreamSocialDeterministic(t *testing.T) {
+	a := StreamSocial(FlickrLike(800, 7))
+	b := StreamSocial(FlickrLike(800, 7))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	ea, eb := a.EdgeList(), b.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c := StreamSocial(FlickrLike(800, 8))
+	if c.NumEdges() == a.NumEdges() {
+		ec := c.EdgeList()
+		same := true
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+// The streaming generator must keep the properties the paper's results
+// rest on: degree skew, clustering, reciprocity near the preset's knob.
+func TestStreamSocialShape(t *testing.T) {
+	g := StreamSocial(FlickrLike(3000, 11))
+	rng := rand.New(rand.NewSource(1))
+	s := g.ComputeStats(300, rng)
+	if float64(s.MaxOutDegree) < 5*s.AvgOutDegree {
+		t.Fatalf("max out-degree %d not skewed vs avg %.1f", s.MaxOutDegree, s.AvgOutDegree)
+	}
+	if s.ClusteringCoef < 0.05 {
+		t.Fatalf("clustering %.3f too low", s.ClusteringCoef)
+	}
+	if s.Reciprocity < 0.3 {
+		t.Fatalf("reciprocity %.3f too low for the Flickr preset", s.Reciprocity)
+	}
+}
+
+func TestStreamSocialTinyGraphs(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		g := StreamSocial(Config{Nodes: n, AvgFollows: 3, Seed: 1})
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+	}
+}
+
+func TestFlickrLikeEdgesHitsTarget(t *testing.T) {
+	const target = 120000
+	cfg := FlickrLikeEdges(target, 3)
+	g := StreamSocial(cfg)
+	m := g.NumEdges()
+	if m < target*7/10 || m > target*13/10 {
+		t.Fatalf("generated %d edges for target %d (outside ±30%%)", m, target)
+	}
+}

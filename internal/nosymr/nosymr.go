@@ -12,23 +12,34 @@
 //     one edge and grants the lock to the highest-gain candidate,
 //     emitting (hub edge, locked edge).
 //   - Job 2 (reduce-only = phase 3): grants are grouped by hub edge; the
-//     reducer re-derives the candidate from the snapshot, applies the
+//     reducer looks the candidate up in the round snapshot, applies the
 //     full/partial commit rule, and emits schedule updates.
 //   - Merge: updates are applied to the schedule; lock ownership makes
 //     them conflict-free, so application order is irrelevant.
 //
 // The pricing, locking, and decision logic is the Evaluator from package
 // nosy, so this solver and the shared-memory one are the same algorithm
-// on different substrates; tests assert they produce identical schedules.
-// The Evaluator's memoized hub-graph structural cache carries over too:
-// the mappers of every iteration after the first — and Job 2's
-// re-derivation in the same iteration — re-price cached intersections
-// instead of recomputing them.
+// on different substrates; tests assert they produce identical schedules
+// and identical per-iteration stats.
+//
+// Job 1's map input is the dirty set, not every edge: a hub edge's
+// candidacy depends only on the schedule state of edges pointing into its
+// endpoints, so after an iteration only hub edges in the neighborhoods of
+// committed hubs are re-priced — the shared-memory solver's dirty-set
+// discipline, realized here as the paper's "pull-based update
+// dissemination" between iterations. Clean candidates from earlier rounds
+// skip the pricing map and bid with their cached hub-graph; the lock and
+// decide jobs see exactly the candidate set the full re-map would have
+// produced, so schedules and stats are unchanged — only the mapped volume
+// shrinks. The Evaluator's memoized structural cache carries over too:
+// the dirty re-pricings re-walk cached intersections instead of
+// recomputing them.
 package nosymr
 
 import (
 	"context"
 
+	"piggyback/internal/bitset"
 	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/mapreduce"
@@ -51,12 +62,7 @@ func Solve(g *graph.Graph, r *workload.Rates, cfg nosy.Config) nosy.Result {
 func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg nosy.Config) (nosy.Result, error) {
 	ev := nosy.NewEvaluator(g, r, cfg)
 	opts := mapreduce.Options{Workers: cfg.Workers}
-
-	// Hub-graph inputs: one per edge, as in the paper's preliminary job.
-	hubEdges := make([]graph.EdgeID, g.NumEdges())
-	for e := range hubEdges {
-		hubEdges[e] = graph.EdgeID(e)
-	}
+	cc := newCandCache(g.NumEdges())
 
 	var iters []nosy.IterationStat
 	var cause error
@@ -65,9 +71,8 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg nosy.C
 			cause = err
 			break
 		}
-		stat := iterate(ev, hubEdges, opts)
+		stat := iterate(ev, cc, opts)
 		stat.Iteration = it
-		stat.Dirty = len(hubEdges) // every hub edge is re-mapped each job
 		if cfg.TraceCosts {
 			snap := ev.Schedule().Clone()
 			snap.Finalize(r)
@@ -83,6 +88,30 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg nosy.C
 	}
 	ev.Schedule().Finalize(r)
 	return nosy.Result{Schedule: ev.Schedule(), Iterations: iters}, cause
+}
+
+// candCache carries candidate state across iterations, the MapReduce
+// counterpart of the shared-memory solver's state: dirty flags the hub
+// edges whose pricing may have changed since their last evaluation,
+// isCand the hub edges whose cands slot holds a live candidate, and
+// cands the cached hub-graphs themselves. The first round seeds
+// everything dirty; later rounds re-price only commit neighborhoods.
+type candCache struct {
+	dirty     *bitset.Set
+	isCand    *bitset.Set
+	cands     []*nosy.Candidate
+	dirtyList []int32        // reused scratch: this round's dirty edges
+	input     []graph.EdgeID // reused scratch: this round's Job 1 input
+}
+
+func newCandCache(m int) *candCache {
+	cc := &candCache{
+		dirty:  bitset.New(m),
+		isCand: bitset.New(m),
+		cands:  make([]*nosy.Candidate, m),
+	}
+	cc.dirty.SetAll()
+	return cc
 }
 
 // lockRequest is Job 1's map output value: candidate identity and gain.
@@ -118,25 +147,59 @@ const (
 )
 
 // commitMark tags Job 2 outputs so the merge can count full vs partial
-// commits; emitted once per committed candidate.
+// commits and fan the commit's dirty neighborhood out to the next round;
+// emitted once per committed candidate with upd.edge = the hub edge.
 type output struct {
 	upd     update
-	mark    bool // true: this is a commit marker, upd unused except edge
+	mark    bool // true: this is a commit marker, upd.edge is the hub edge
 	partial bool
 	covered int
 }
 
-func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options) nosy.IterationStat {
+func iterate(ev *nosy.Evaluator, cc *candCache, opts mapreduce.Options) nosy.IterationStat {
 	var stat nosy.IterationStat
 
-	// Job 1 — map: phase-1 candidate selection emitting lock requests;
-	// reduce: phase-2 lock granting.
+	// Preliminary job: materialize Job 1's input — the dirty hub edges,
+	// which get re-priced, followed by the clean edges whose cached
+	// candidate bids again at its cached gain. Every hub edge appears at
+	// most once.
+	cc.dirtyList = cc.dirty.AppendSet(cc.dirtyList[:0])
+	stat.Dirty = len(cc.dirtyList)
+	input := cc.input[:0]
+	for _, e := range cc.dirtyList {
+		input = append(input, graph.EdgeID(e))
+	}
+	cc.isCand.Range(func(e int) bool {
+		if !cc.dirty.Test(e) {
+			input = append(input, graph.EdgeID(e))
+		}
+		return true
+	})
+	cc.input = input
+
+	// Job 1 — map: phase-1 candidate selection emitting lock requests
+	// (dirty edges re-priced into the cache, clean ones served from it);
+	// reduce: phase-2 lock granting. Mappers write only their own edge's
+	// cache slot, so concurrent map invocations never conflict.
 	grants := mapreduce.Run(
-		hubEdges,
+		input,
 		func(he graph.EdgeID, emit func(graph.EdgeID, lockRequest)) {
-			c, ok := ev.EvalCandidate(he)
-			if !ok {
-				return
+			var c *nosy.Candidate
+			if cc.dirty.Test(int(he)) {
+				fresh, ok := ev.EvalCandidate(he)
+				if !ok {
+					cc.isCand.ClearAtomic(int(he))
+					return
+				}
+				c = cc.cands[he]
+				if c == nil {
+					c = &nosy.Candidate{}
+					cc.cands[he] = c
+				}
+				*c = fresh
+				cc.isCand.SetAtomic(int(he))
+			} else {
+				c = cc.cands[he]
 			}
 			req := lockRequest{hubEdge: he, gain: c.Gain}
 			emit(he, req)
@@ -166,6 +229,15 @@ func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options
 		},
 		opts,
 	)
+	// The dirty set is consumed: clear per-bit when sparse, whole-table
+	// when the round was dense enough that the word sweep is cheaper.
+	if len(cc.dirtyList)*64 < cc.dirty.Len() {
+		for _, e := range cc.dirtyList {
+			cc.dirty.Clear(int(e))
+		}
+	} else {
+		cc.dirty.Reset()
+	}
 	realGrants := grants[:0]
 	for _, gr := range grants {
 		if gr.lockedEdge == candidateMarker {
@@ -176,8 +248,10 @@ func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options
 	}
 
 	// Job 2 — group grants by hub edge (map), decide and emit updates
-	// (reduce). The reducer re-derives the candidate from the same
-	// snapshot, which is deterministic.
+	// (reduce). The reducer reads the candidate from the round snapshot's
+	// cache — the same hub-graph the full re-derivation would rebuild,
+	// since clean candidates are unchanged by definition and dirty ones
+	// were just re-priced.
 	outs := mapreduce.Run(
 		realGrants,
 		func(gr grant, emit func(graph.EdgeID, graph.EdgeID)) {
@@ -185,22 +259,22 @@ func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options
 		},
 		mapreduce.Int32Key,
 		func(he graph.EdgeID, locked []graph.EdgeID, emit func(output)) {
-			c, ok := ev.EvalCandidate(he)
-			if !ok {
+			if !cc.isCand.Test(int(he)) {
 				// This hub edge won locks for another candidate's edges but
 				// is itself not a candidate (it only appears as key if it
 				// bid, so this cannot happen; guard anyway).
 				return
 			}
+			c := cc.cands[he]
 			grantedSet := make(map[graph.EdgeID]bool, len(locked))
 			for _, e := range locked {
 				grantedSet[e] = true
 			}
-			keep, partial, ok := ev.Decide(&c, func(e graph.EdgeID) bool { return grantedSet[e] })
+			keep, partial, ok := ev.Decide(c, func(e graph.EdgeID) bool { return grantedSet[e] })
 			if !ok {
 				return
 			}
-			emit(output{mark: true, partial: partial, covered: len(keep)})
+			emit(output{upd: update{edge: he}, mark: true, partial: partial, covered: len(keep)})
 			emit(output{upd: update{op: opPull, edge: c.HubEdge}})
 			for _, j := range keep {
 				emit(output{upd: update{op: opPush, edge: c.XWEdges[j]}})
@@ -211,8 +285,10 @@ func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options
 	)
 
 	// Merge job: apply updates. Lock ownership makes them disjoint per
-	// edge, so order does not matter.
+	// edge, so order does not matter. Commit markers fan the commit's
+	// dirty neighborhood out to the next round.
 	s := ev.Schedule()
+	g := ev.Graph()
 	for _, o := range outs {
 		if o.mark {
 			if o.partial {
@@ -221,11 +297,29 @@ func iterate(ev *nosy.Evaluator, hubEdges []graph.EdgeID, opts mapreduce.Options
 				stat.FullCommits++
 			}
 			stat.CoveredEdges += o.covered
+			c := cc.cands[o.upd.edge]
+			markDirty(g, cc.dirty, c.W)
+			markDirty(g, cc.dirty, c.Y)
 			continue
 		}
 		applyUpdate(s, o.upd)
 	}
 	return stat
+}
+
+// markDirty flags every hub edge whose evaluation a commit touching node
+// v can change: hub edges leaving v (v is the hub) and hub edges
+// entering v (the changed edge may be a cross-edge or the pull edge of
+// those candidates) — the fan-out rule of the shared-memory solver's
+// markDirtyNodes.
+func markDirty(g *graph.Graph, dirty *bitset.Set, v graph.NodeID) {
+	lo, hi := g.OutEdgeRange(v)
+	for e := lo; e < hi; e++ {
+		dirty.Set(int(e))
+	}
+	for _, e := range g.InEdgeIDs(v) {
+		dirty.Set(int(e))
+	}
 }
 
 func applyUpdate(s *core.Schedule, u update) {

@@ -52,12 +52,35 @@ func TestMatchesSharedMemoryImplementation(t *testing.T) {
 				seed, len(mr.Iterations), len(sm.Iterations))
 		}
 		for i := range mr.Iterations {
-			if mr.Iterations[i].FullCommits != sm.Iterations[i].FullCommits ||
+			if mr.Iterations[i].Dirty != sm.Iterations[i].Dirty ||
+				mr.Iterations[i].Candidates != sm.Iterations[i].Candidates ||
+				mr.Iterations[i].FullCommits != sm.Iterations[i].FullCommits ||
 				mr.Iterations[i].PartialCommits != sm.Iterations[i].PartialCommits ||
 				mr.Iterations[i].CoveredEdges != sm.Iterations[i].CoveredEdges {
 				t.Fatalf("seed %d iteration %d stats differ: %+v vs %+v",
 					seed, i, mr.Iterations[i], sm.Iterations[i])
 			}
+		}
+	}
+}
+
+// The dirty-set discipline must actually shrink the Job 1 map input:
+// round 0 prices every hub edge, later rounds only commit neighborhoods.
+func TestDirtySetShrinks(t *testing.T) {
+	g := graphgen.Social(graphgen.TwitterLike(300, 4))
+	r := workload.LogDegree(g, 5)
+	res := Solve(g, r, nosy.Config{})
+	if len(res.Iterations) < 2 {
+		t.Fatalf("want a multi-iteration run, got %d iterations", len(res.Iterations))
+	}
+	if res.Iterations[0].Dirty != g.NumEdges() {
+		t.Fatalf("round 0 dirty = %d, want every edge (%d)",
+			res.Iterations[0].Dirty, g.NumEdges())
+	}
+	for i := 1; i < len(res.Iterations); i++ {
+		if d := res.Iterations[i].Dirty; d >= res.Iterations[0].Dirty {
+			t.Fatalf("iteration %d dirty = %d, not below round 0's %d",
+				i, d, res.Iterations[0].Dirty)
 		}
 	}
 }

@@ -8,6 +8,7 @@ package partition
 import (
 	"piggyback/internal/core"
 	"piggyback/internal/graph"
+	"piggyback/internal/sampling"
 	"piggyback/internal/workload"
 )
 
@@ -33,6 +34,187 @@ func Hash(nodes, servers int, seed int64) Assignment {
 
 // Of returns the server hosting u's view.
 func (a Assignment) Of(u graph.NodeID) int32 { return a.of[u] }
+
+// Groups returns the node ids of every server's views, each list in
+// ascending id order — the shape subgraph extraction (graph.Induced)
+// wants.
+func (a Assignment) Groups() [][]graph.NodeID {
+	groups := make([][]graph.NodeID, a.Servers)
+	counts := make([]int, a.Servers)
+	for _, s := range a.of {
+		counts[s]++
+	}
+	for s := range groups {
+		groups[s] = make([]graph.NodeID, 0, counts[s])
+	}
+	for u, s := range a.of {
+		groups[s] = append(groups[s], graph.NodeID(u))
+	}
+	return groups
+}
+
+// CutEdges counts the edges of g whose endpoints live on different
+// servers — the cross-shard traffic a placement induces.
+func (a Assignment) CutEdges(g *graph.Graph) int {
+	cut := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		su := a.of[u]
+		for _, v := range g.OutNeighbors(graph.NodeID(u)) {
+			if a.of[v] != su {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Locality assigns views to servers by graph structure instead of
+// hashing: seed one region per server with a random-walk hot node
+// (sampling.WalkSeeds), grow the regions breadth-first so each server
+// gets a connected neighborhood, then run a few label-propagation
+// refinement rounds that move nodes to their majority-neighbor server
+// under a balance cap. The whole pipeline is sequential and iterates
+// nodes, servers, and CSR adjacency in fixed order, so the assignment is
+// deterministic given (g, servers, seed) — a requirement for the sharded
+// solver's byte-identical schedules.
+func Locality(g *graph.Graph, servers int, seed int64) Assignment {
+	if servers < 1 {
+		servers = 1
+	}
+	n := g.NumNodes()
+	a := Assignment{Servers: servers, of: make([]int32, n)}
+	if n == 0 {
+		return a
+	}
+	for i := range a.of {
+		a.of[i] = -1
+	}
+	load := make([]int, servers)
+	// Balance cap: 25% slack over perfect balance, enforced both while
+	// growing (a small-world hub seed would otherwise swallow the whole
+	// graph in two BFS layers) and while refining.
+	maxLoad := (n + servers - 1) / servers
+	maxLoad += maxLoad / 4
+
+	// Seed + grow: multi-source BFS, one source per server. Within each
+	// BFS layer the servers advance in ascending id order, so a node
+	// reachable from two frontiers at the same depth goes to the lower
+	// server id. A server at its cap stops claiming; its unclaimed
+	// neighbors stay available to later layers of other servers.
+	seeds := sampling.WalkSeeds(g, servers, seed)
+	frontiers := make([][]graph.NodeID, servers)
+	for i, s := range seeds {
+		a.of[s] = int32(i)
+		load[i]++
+		frontiers[i] = append(frontiers[i], s)
+	}
+	for {
+		grew := false
+		for s := 0; s < servers; s++ {
+			cur := frontiers[s]
+			if len(cur) == 0 {
+				continue
+			}
+			var next []graph.NodeID
+			for _, v := range cur {
+				if load[s] >= maxLoad {
+					break
+				}
+				for _, u := range g.OutNeighbors(v) {
+					if a.of[u] < 0 && load[s] < maxLoad {
+						a.of[u] = int32(s)
+						load[s]++
+						next = append(next, u)
+					}
+				}
+				for _, u := range g.InNeighbors(v) {
+					if a.of[u] < 0 && load[s] < maxLoad {
+						a.of[u] = int32(s)
+						load[s]++
+						next = append(next, u)
+					}
+				}
+			}
+			frontiers[s] = next
+			if len(next) > 0 {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	// Isolated or unreached nodes (no seed in their component): give each
+	// to the currently lightest server, lowest id first.
+	for u := 0; u < n; u++ {
+		if a.of[u] >= 0 {
+			continue
+		}
+		best := 0
+		for s := 1; s < servers; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		a.of[u] = int32(best)
+		load[best]++
+	}
+
+	// Refine: label propagation under the same balance cap. A node moves
+	// to the server holding a strict majority of its neighbors
+	// (undirected view) if that server has headroom; ties keep the
+	// current server, then prefer the lower id. Sequential node order ⇒
+	// deterministic.
+	stamp := make([]int64, servers)
+	count := make([]int, servers)
+	var gen int64
+	const rounds = 8
+	for r := 0; r < rounds; r++ {
+		moved := 0
+		for u := 0; u < n; u++ {
+			uid := graph.NodeID(u)
+			gen++
+			tally := func(v graph.NodeID) {
+				s := a.of[v]
+				if stamp[s] != gen {
+					stamp[s] = gen
+					count[s] = 0
+				}
+				count[s]++
+			}
+			for _, v := range g.OutNeighbors(uid) {
+				tally(v)
+			}
+			for _, v := range g.InNeighbors(uid) {
+				tally(v)
+			}
+			curS := a.of[u]
+			curCount := 0
+			if stamp[curS] == gen {
+				curCount = count[curS]
+			}
+			best, bestCount := curS, curCount
+			for s := 0; s < servers; s++ {
+				if stamp[int32(s)] != gen || int32(s) == curS {
+					continue
+				}
+				if count[s] > bestCount && load[s] < maxLoad {
+					best, bestCount = int32(s), count[s]
+				}
+			}
+			if best != curS {
+				load[curS]--
+				load[best]++
+				a.of[u] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+	return a
+}
 
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

@@ -189,3 +189,84 @@ func TestQuickCostBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLocalityDeterministicAndComplete(t *testing.T) {
+	g, _ := setup(2000, 3)
+	a := Locality(g, 8, 11)
+	b := Locality(g, 8, 11)
+	if a.Servers != 8 {
+		t.Fatalf("Servers = %d", a.Servers)
+	}
+	counts := make([]int, 8)
+	for u := 0; u < g.NumNodes(); u++ {
+		s := a.Of(graph.NodeID(u))
+		if s < 0 || s >= 8 {
+			t.Fatalf("node %d on server %d, out of range", u, s)
+		}
+		if s != b.Of(graph.NodeID(u)) {
+			t.Fatal("same inputs produced different locality assignments")
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("server %d got no views", s)
+		}
+	}
+	// Balance cap: label propagation must not pile everything onto one
+	// server. Allow the BFS+cap slack plus a margin.
+	max := (g.NumNodes()/8)*2 + 1
+	for s, c := range counts {
+		if c > max {
+			t.Fatalf("server %d holds %d views, cap-ish %d", s, c, max)
+		}
+	}
+}
+
+func TestLocalityBeatsHashOnCut(t *testing.T) {
+	// Flickr-like graphs are clustered (triadic closure + reciprocity),
+	// so a locality-aware placement must cut far fewer edges than random
+	// hashing.
+	g := graphgen.Social(graphgen.FlickrLike(3000, 9))
+	loc := Locality(g, 8, 1)
+	hash := Hash(g.NumNodes(), 8, 1)
+	lc, hc := loc.CutEdges(g), hash.CutEdges(g)
+	if lc >= hc {
+		t.Fatalf("locality cut %d >= hash cut %d", lc, hc)
+	}
+	t.Logf("cut edges: locality %d vs hash %d (m=%d)", lc, hc, g.NumEdges())
+}
+
+func TestLocalitySingleServer(t *testing.T) {
+	g, _ := setup(300, 1)
+	a := Locality(g, 1, 5)
+	for u := 0; u < g.NumNodes(); u++ {
+		if a.Of(graph.NodeID(u)) != 0 {
+			t.Fatalf("node %d not on server 0", u)
+		}
+	}
+	if a.CutEdges(g) != 0 {
+		t.Fatal("single server cannot cut edges")
+	}
+}
+
+func TestGroupsPartitionAscending(t *testing.T) {
+	g, _ := setup(500, 2)
+	a := Locality(g, 4, 2)
+	groups := a.Groups()
+	total := 0
+	for s, nodes := range groups {
+		total += len(nodes)
+		for i, v := range nodes {
+			if a.Of(v) != int32(s) {
+				t.Fatalf("node %d listed under server %d but assigned to %d", v, s, a.Of(v))
+			}
+			if i > 0 && nodes[i-1] >= v {
+				t.Fatalf("server %d group not strictly ascending at %d", s, i)
+			}
+		}
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("groups hold %d nodes, graph has %d", total, g.NumNodes())
+	}
+}

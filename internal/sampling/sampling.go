@@ -9,6 +9,7 @@ package sampling
 
 import (
 	"math/rand"
+	"sort"
 
 	"piggyback/internal/graph"
 )
@@ -122,6 +123,97 @@ func BFS(g *graph.Graph, targetEdges int, seed int64) Result {
 		}
 	}
 	return induce(g, order)
+}
+
+// WalkSeeds picks k well-connected, well-spread seed nodes by random-walk
+// visit counts — the statistics-free structural placement primitive behind
+// locality-aware partitioning (partition.Locality). A restarting random
+// walk on the undirected projection visits hubs and their dense
+// neighborhoods most often; seeds are then chosen greedily by descending
+// visit count (ties toward the lower node id) while skipping direct
+// neighbors of already-chosen seeds, so the k seeds land in k different
+// dense regions rather than k corners of the same one. When the exclusion
+// rule runs out of candidates it is relaxed, so exactly min(k, n) seeds
+// are always returned. Deterministic given the seed.
+func WalkSeeds(g *graph.Graph, k int, seed int64) []graph.NodeID {
+	n := g.NumNodes()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const restartProb = 0.15
+	steps := 64 * k
+	if min := 4 * n; steps < min {
+		steps = min
+	}
+	if max := 1 << 20; steps > max {
+		steps = max
+	}
+	visits := make([]int32, n)
+	start := graph.NodeID(rng.Intn(n))
+	cur := start
+	for i := 0; i < steps; i++ {
+		visits[cur]++
+		if rng.Float64() < restartProb {
+			// Restart from a fresh uniform node (not the original start):
+			// component hopping, so disconnected regions get visited too.
+			cur = graph.NodeID(rng.Intn(n))
+			continue
+		}
+		nbrs := undirected(g, cur)
+		if len(nbrs) == 0 {
+			cur = graph.NodeID(rng.Intn(n))
+			continue
+		}
+		cur = nbrs[rng.Intn(len(nbrs))]
+	}
+	// Rank nodes by (visits desc, id asc) — fully deterministic.
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if visits[order[i]] != visits[order[j]] {
+			return visits[order[i]] > visits[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	seeds := make([]graph.NodeID, 0, k)
+	taken := make(map[graph.NodeID]bool, 4*k)
+	for relax := 0; relax < 2 && len(seeds) < k; relax++ {
+		for _, v := range order {
+			if len(seeds) == k {
+				break
+			}
+			if taken[v] {
+				continue
+			}
+			seeds = append(seeds, v)
+			taken[v] = true
+			if relax == 0 {
+				// Exclude the seed's direct neighborhood on the first pass.
+				for _, u := range g.OutNeighbors(v) {
+					taken[u] = true
+				}
+				for _, u := range g.InNeighbors(v) {
+					taken[u] = true
+				}
+			}
+		}
+		if relax == 0 && len(seeds) < k {
+			// Relax: keep only the chosen seeds excluded so the second
+			// pass may admit their neighbors.
+			nt := make(map[graph.NodeID]bool, len(seeds))
+			for _, s := range seeds {
+				nt[s] = true
+			}
+			taken = nt
+		}
+	}
+	return seeds
 }
 
 func randomUnvisited(rng *rand.Rand, n int, visited map[graph.NodeID]bool) graph.NodeID {

@@ -129,3 +129,60 @@ func TestBFSPreservesHubDegreeBetter(t *testing.T) {
 		t.Fatal("degenerate samples")
 	}
 }
+
+func TestWalkSeedsDeterministicAndDistinct(t *testing.T) {
+	g := testGraph()
+	a := WalkSeeds(g, 8, 7)
+	b := WalkSeeds(g, 8, 7)
+	if len(a) != 8 {
+		t.Fatalf("got %d seeds, want 8", len(a))
+	}
+	seen := make(map[graph.NodeID]bool)
+	for i, s := range a {
+		if s != b[i] {
+			t.Fatal("same seed produced different walk seeds")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+		if int(s) < 0 || int(s) >= g.NumNodes() {
+			t.Fatalf("seed %d out of range", s)
+		}
+	}
+	c := WalkSeeds(g, 8, 8)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical walk seeds")
+	}
+}
+
+func TestWalkSeedsMoreThanNodes(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	seeds := WalkSeeds(g, 10, 1)
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds from a 3-node graph, want 3", len(seeds))
+	}
+	if WalkSeeds(g, 0, 1) != nil {
+		t.Fatal("k=0 should yield nil")
+	}
+}
+
+func TestWalkSeedsPrefersHubs(t *testing.T) {
+	// A star: node 0 has 50 spokes. The walk concentrates on the center,
+	// so seed 1 must be node 0.
+	b := graph.NewBuilder(51)
+	for i := int32(1); i <= 50; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	seeds := WalkSeeds(g, 2, 3)
+	if seeds[0] != 0 {
+		t.Fatalf("first seed = %d, want hub 0", seeds[0])
+	}
+}

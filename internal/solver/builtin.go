@@ -29,8 +29,9 @@ const (
 func init() {
 	Register(ChitChat, func(o Options) Solver {
 		return withProgress(NewChitChat(chitchat.Config{
-			Workers:       o.Workers,
-			MaxCrossEdges: o.MaxCrossEdges,
+			Workers:        o.Workers,
+			MaxCrossEdges:  o.MaxCrossEdges,
+			InstanceBudget: o.InstanceBudget,
 		}), o.Progress)
 	})
 	Register(Nosy, func(o Options) Solver {

@@ -135,6 +135,15 @@ type Options struct {
 	// MaxCrossEdges is the per-hub cross-edge bound b of §4.2; 0 means
 	// the algorithm default (100 000).
 	MaxCrossEdges int
+	// Shards is the partition count for the sharded solver; 0 means
+	// auto-size from the edge count. Ignored by unsharded solvers.
+	Shards int
+	// InstanceBudget bounds the resident element mass of CHITCHAT's
+	// hub-instance store; 0 means unlimited (fully resident). Schedules
+	// are byte-identical for every budget — the knob trades peak memory
+	// for instance rebuilds. Ignored by solvers without an instance
+	// store.
+	InstanceBudget int
 	// TraceCosts makes PARALLELNOSY compute the finalized cost every
 	// iteration (one O(m) pass + clone per round) so ProgressEvent.Cost
 	// is live.

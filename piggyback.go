@@ -54,6 +54,7 @@ import (
 	"piggyback/internal/partition"
 	"piggyback/internal/refine"
 	"piggyback/internal/sampling"
+	"piggyback/internal/shard"
 	"piggyback/internal/solver"
 	"piggyback/internal/store"
 	"piggyback/internal/workload"
@@ -108,7 +109,7 @@ var (
 
 // RegisterSolver makes a solver available under name (panics on
 // duplicates — registration is an init-time affair). The built-ins are
-// "chitchat", "nosy", "nosymr", "hybrid", "pushall", "pullall".
+// "chitchat", "nosy", "nosymr", "shard", "hybrid", "pushall", "pullall".
 func RegisterSolver(name string, f SolverFactory) { solver.Register(name, f) }
 
 // GetSolver returns the factory registered under name, or an error
@@ -149,6 +150,15 @@ func NewNosySolver(cfg NosyConfig) Solver { return solver.NewNosy(cfg) }
 // NewNosyMapReduceSolver returns the MapReduce PARALLELNOSY solver; it
 // produces schedules identical to NewNosySolver.
 func NewNosyMapReduceSolver(cfg NosyConfig) Solver { return solver.NewNosyMapReduce(cfg) }
+
+// ShardConfig tunes the sharded solver: partition → concurrent per-shard
+// solves → deterministic cut reconciliation.
+type ShardConfig = shard.Config
+
+// NewShardSolver returns the sharded million-edge solver under its full
+// typed config (registry name "shard"; zero config auto-sizes the
+// partition and runs CHITCHAT per shard).
+func NewShardSolver(cfg ShardConfig) Solver { return shard.New(cfg) }
 
 // Graph is a directed social graph in CSR form; the edge u → v means v
 // subscribes to u. Build one with NewGraphBuilder or GraphFromEdges.
@@ -196,6 +206,19 @@ type SocialGraphConfig = graphgen.Config
 
 // SocialGraph generates a synthetic social graph from an explicit config.
 func SocialGraph(cfg SocialGraphConfig) *Graph { return graphgen.Social(cfg) }
+
+// StreamSocialGraph generates a graph with SocialGraph's shape through
+// the two-pass streaming CSR builder, with generator state O(nodes)
+// instead of an in-memory edge list — the million-edge path (the RNG
+// draw order differs from SocialGraph's, so the edge sets are distinct).
+// Pair with the "shard" solver to keep solve memory O(shard).
+func StreamSocialGraph(cfg SocialGraphConfig) *Graph { return graphgen.StreamSocial(cfg) }
+
+// FlickrLikeEdges sizes a Flickr-like config to hit a target edge count
+// rather than a node count, for scale-targeted benchmarks.
+func FlickrLikeEdges(edges int, seed int64) SocialGraphConfig {
+	return graphgen.FlickrLikeEdges(edges, seed)
+}
 
 // LogDegreeRates derives the paper's synthetic workload: production ∝
 // log followers, consumption ∝ log followees, rescaled to the given
