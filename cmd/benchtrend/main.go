@@ -11,6 +11,12 @@
 //
 //	go run ./cmd/benchtrend -git -o BENCH_trend.md -json BENCH_trend.json \
 //	    BENCH_chitchat.json BENCH_nosy.json
+//
+// With -gate <pct> (repo-relative inputs, run from the repo root), the
+// tool additionally compares the working-tree numbers of a pinned set
+// of benchmarks against the committed HEAD baselines and exits with
+// code 3 when any of them is more than <pct> percent slower — the CI
+// regression gate.
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 	useGit := flag.Bool("git", false, "one row per first-parent commit touching the inputs (needs full clone history)")
 	out := flag.String("o", "", "markdown output path (default: stdout)")
 	jsonOut := flag.String("json", "", "also write the merged table as JSON to this path")
+	gatePct := flag.Float64("gate", 15, "fail (exit 3) if a pinned benchmark is more than this percent slower than its HEAD baseline; negative disables")
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
@@ -89,6 +96,91 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *gatePct >= 0 {
+		baseline, ok := headBenchmarks(files)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchtrend: no HEAD baselines readable; regression gate skipped")
+			return
+		}
+		current := map[string]entry{}
+		if wt, err := fileSources(files); err == nil {
+			for _, s := range wt {
+				for name, e := range s.Benchmarks {
+					current[name] = e
+				}
+			}
+		}
+		violations := gate(baseline, current, gatedBenchmarks, *gatePct)
+		if len(violations) == 0 {
+			fmt.Fprintf(os.Stderr, "benchtrend: regression gate clean (threshold %.0f%%)\n", *gatePct)
+			return
+		}
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchtrend: REGRESSION %s: %.4gs/op vs baseline %.4gs/op (+%.1f%% > %.0f%%)\n",
+				v.Name, v.Current, v.Baseline, v.Pct, *gatePct)
+		}
+		os.Exit(3)
+	}
+}
+
+// gatedBenchmarks is the pinned regression-gate set: one representative
+// per solver family whose BENCH artifact CI regenerates.
+var gatedBenchmarks = []string{
+	"BenchmarkChitChatWorkers1",
+	"BenchmarkNosyWorkers1",
+	"BenchmarkShardSolve1M",
+}
+
+// gateViolation is one pinned benchmark slower than the gate allows.
+type gateViolation struct {
+	Name     string
+	Baseline float64 // sec/op at HEAD
+	Current  float64 // sec/op in the working tree
+	Pct      float64 // percent slower than baseline
+}
+
+// gate compares the current numbers of the pinned benchmarks against
+// the baseline and returns the ones more than pct percent slower.
+// Benchmarks absent from either side (or with a degenerate baseline)
+// are skipped: the gate guards known numbers, it does not demand them.
+func gate(baseline, current map[string]entry, pinned []string, pct float64) []gateViolation {
+	var out []gateViolation
+	for _, name := range pinned {
+		base, okB := baseline[name]
+		cur, okC := current[name]
+		if !okB || !okC || base.SecPerOp <= 0 {
+			continue
+		}
+		slower := (cur.SecPerOp/base.SecPerOp - 1) * 100
+		if slower > pct {
+			out = append(out, gateViolation{Name: name, Baseline: base.SecPerOp, Current: cur.SecPerOp, Pct: slower})
+		}
+	}
+	return out
+}
+
+// headBenchmarks merges the HEAD-committed versions of the input files
+// into one baseline map. ok is false when none of them is readable from
+// git (not a repo, or all files untracked).
+func headBenchmarks(files []string) (map[string]entry, bool) {
+	merged := map[string]entry{}
+	any := false
+	for _, f := range files {
+		blob, err := exec.Command("git", "show", "HEAD:"+f).Output()
+		if err != nil {
+			continue
+		}
+		var rep report
+		if json.Unmarshal(blob, &rep) != nil {
+			continue
+		}
+		any = true
+		for name, e := range rep.Benchmarks {
+			merged[name] = e
+		}
+	}
+	return merged, any
 }
 
 // fileSources reads each input file as one row.

@@ -40,7 +40,7 @@ func main() {
 		schedPath = flag.String("sched", "", "schedule file from schedio (default: compute with -algo)")
 		nodes     = flag.Int("nodes", 2000, "nodes for the generated graph")
 		seed      = flag.Int64("seed", 1, "seed for generation, workload and placement")
-		algo      = flag.String("algo", "nosy", "schedule algorithm: "+strings.Join(solver.Names(), " | "))
+		algo      = flag.String("algo", "nosy", "schedule algorithm: "+strings.Join(solver.Default.Names(), " | "))
 		ratio     = flag.Float64("ratio", workload.DefaultReadWriteRatio, "read/write ratio")
 		servers   = flag.Int("servers", 8, "TCP data-store servers")
 		clients   = flag.Int("clients", 8, "concurrent client connections")
@@ -157,7 +157,7 @@ func loadOrCompute(path string, g *graph.Graph, r *workload.Rates, algo string) 
 		}
 		return s
 	}
-	sv, err := solver.New(algo, solver.Options{})
+	sv, err := solver.Default.New(algo, solver.Options{})
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -48,24 +48,32 @@ func main() {
 	servers := flag.Int("servers", 8, "view-store servers (with -serve)")
 	flag.Parse()
 
-	// One code path for algorithm selection: the registry. Any solver
-	// that supports Problem.Region can drive the daemon's re-solves.
-	regional, err := solver.New(*solverName, solver.Options{Workers: *workers})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if !solver.SupportsRegions(regional) {
-		fmt.Fprintf(os.Stderr, "-solver %s cannot re-solve regions (region-capable: chitchat, nosy)\n", *solverName)
-		os.Exit(2)
-	}
 	cfg := online.Config{
 		K:              *k,
 		DriftThreshold: *threshold,
 		CheckEvery:     *every,
 		MaxRegionNodes: *maxRegion,
-		Regional:       regional,
 		ResolveTimeout: *budget,
+	}
+	if *solverName == solver.Auto {
+		// The built-in selector path: the daemon wires its drift tracker
+		// into the selector's degradation hint, so badly drifted regions
+		// get the quality reference and mild ones the cheap patch.
+		cfg.Solver = online.SolverAuto
+		cfg.Nosy.Workers = *workers
+	} else {
+		// One code path for algorithm selection: the registry. Any solver
+		// that supports Problem.Region can drive the daemon's re-solves.
+		regional, err := solver.Default.New(*solverName, solver.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !solver.SupportsRegions(regional) {
+			fmt.Fprintf(os.Stderr, "-solver %s cannot re-solve regions (region-capable: chitchat, nosy)\n", *solverName)
+			os.Exit(2)
+		}
+		cfg.Regional = regional
 	}
 
 	g := graphgen.Social(graphgen.FlickrLike(*nodes, *seed))

@@ -37,7 +37,7 @@ func main() {
 	var (
 		path     = flag.String("graph", "", "graph file (binary or text; default stdin, binary)")
 		text     = flag.Bool("text", false, "graph file is in text format")
-		algo     = flag.String("algo", "nosy", "algorithm: "+strings.Join(solver.Names(), " | "))
+		algo     = flag.String("algo", "nosy", "algorithm: "+strings.Join(solver.Default.Names(), " | "))
 		ratio    = flag.Float64("ratio", workload.DefaultReadWriteRatio, "read/write ratio for the log-degree workload")
 		workers  = flag.Int("workers", 0, "solver parallelism (0 = all cores)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; on expiry the best-so-far valid schedule is reported")
@@ -57,7 +57,7 @@ func main() {
 	if *progress || *iters {
 		opts.Progress = printProgress
 	}
-	sv, err := solver.New(*algo, opts)
+	sv, err := solver.Default.New(*algo, opts)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -30,11 +30,13 @@ func Algorithms(sc Scale) *Table {
 	} {
 		g, r := item.build()
 		hybrid := baseline.HybridCost(g, r)
-		for _, name := range solver.Names() {
-			sv, err := solver.New(name, solver.Options{Workers: sc.Workers})
+		reg := sc.registry()
+		for _, name := range reg.Names() {
+			sv, err := reg.New(name, solver.Options{Workers: sc.Workers})
 			if err != nil {
 				continue // unregistered between Names and New: impossible, skip
 			}
+			sv = solver.Chain(sv, sc.Middleware...)
 			res, err := sv.Solve(context.Background(), solver.Problem{Graph: g, Rates: r})
 			if err != nil {
 				t.Rows = append(t.Rows, []string{name, item.name, "error: " + err.Error(), "", "", ""})

@@ -11,6 +11,7 @@ import (
 
 	"piggyback/internal/graph"
 	"piggyback/internal/graphgen"
+	"piggyback/internal/solver"
 	"piggyback/internal/workload"
 )
 
@@ -74,6 +75,22 @@ type Scale struct {
 	PrototypeClients  int // client goroutines for Fig. 6
 	Workers           int // solver parallelism (CHITCHAT and PARALLELNOSY); 0 = all cores
 	Seed              int64
+
+	// Registry is the solver registry the registry-driven experiments
+	// enumerate; nil means solver.Default.
+	Registry *solver.Registry
+	// Middleware wraps every registry-constructed solver (first entry
+	// outermost) — the hook cmd/experiments uses to attach the metrics
+	// sink.
+	Middleware []solver.Middleware
+}
+
+// registry returns the solver registry to enumerate.
+func (sc Scale) registry() *solver.Registry {
+	if sc.Registry != nil {
+		return sc.Registry
+	}
+	return solver.Default
 }
 
 // Quick is sized for tests and smoke runs (seconds).

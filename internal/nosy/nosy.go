@@ -64,9 +64,10 @@ type Config struct {
 	// DisablePartialCommits turns off the X'-subset re-evaluation of
 	// phase 3 (ablation: convergence needs more iterations).
 	DisablePartialCommits bool
-	// TraceCosts records the finalized schedule cost after every
-	// iteration (needed by the Figure 4 harness; costs one O(m) pass and
-	// a clone per iteration).
+	// TraceCosts records the finalized-equivalent schedule cost after
+	// every iteration (the Figure 4 harness and live progress streams).
+	// The cost is maintained incrementally by the Evaluator, so tracing
+	// is O(1) per round, not an O(m) clone.
 	TraceCosts bool
 	// OnIteration, when non-nil, streams every IterationStat as the
 	// round that produced it completes (Cost is filled only under
@@ -129,9 +130,7 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg Config
 		stat := st.iterate()
 		stat.Iteration = it
 		if cfg.TraceCosts {
-			snap := ev.Schedule().Clone()
-			snap.Finalize(r)
-			stat.Cost = snap.Cost(r)
+			stat.Cost = ev.Cost() // O(1) running finalized-equivalent cost
 		}
 		iters = append(iters, stat)
 		if cfg.OnIteration != nil {
@@ -181,6 +180,7 @@ func SolveRestrictedCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, 
 		ev.restrict.Set(int(e))
 		ev.sched.ClearEdge(e)
 	}
+	ev.resetCost()
 	st := newState(ev, cfg)
 	var iters []IterationStat
 	var cause error
@@ -192,9 +192,9 @@ func SolveRestrictedCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, 
 		stat := st.iterate()
 		stat.Iteration = it
 		if cfg.TraceCosts {
-			snap := ev.sched.Clone()
-			snap.FinalizeEdges(r, region)
-			stat.Cost = snap.Cost(r)
+			// Base is valid, so every unscheduled edge is a region edge:
+			// the running cost equals the FinalizeEdges(region) snapshot.
+			stat.Cost = ev.Cost()
 		}
 		iters = append(iters, stat)
 		if cfg.OnIteration != nil {
@@ -229,6 +229,13 @@ type Evaluator struct {
 	structs *structCache
 	bufPool sync.Pool // *structBuf intersection scratch for cache misses
 
+	// cost is the finalized-equivalent running cost of sched: scheduled
+	// edges priced by their push/pull flags, unscheduled edges at their
+	// hybrid cost c* (what Finalize will charge them). Maintained O(1)
+	// per mutation by the Apply* methods — the incremental.Maintainer
+	// discipline — so TraceCosts streams without an O(m) clone per round.
+	cost float64
+
 	// restrict, when non-nil, confines the solver to a region: only
 	// edges in the set may be written, so a candidate's hub edge and
 	// every kept producer pair must lie inside it (SolveRestricted).
@@ -261,9 +268,62 @@ func NewEvaluator(g *graph.Graph, r *workload.Rates, cfg Config) *Evaluator {
 	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
 		ev.cstar[e] = baseline.EdgeCost(r, u, v)
 		ev.src[e] = u
+		ev.cost += ev.cstar[e] // empty schedule: every edge at its hybrid cost
 		return true
 	})
 	return ev
+}
+
+// Cost returns the finalized-equivalent running cost of the current
+// schedule in O(1): the cost Schedule().Clone().Finalize(r).Cost(r)
+// would report, maintained incrementally by the Apply* mutators.
+func (ev *Evaluator) Cost() float64 { return ev.cost }
+
+// resetCost re-derives the running cost from the current schedule in
+// one O(m) pass — needed when the schedule is replaced wholesale (the
+// restricted solve starts from a cloned base with the region cleared).
+func (ev *Evaluator) resetCost() {
+	total := 0.0
+	s := ev.sched
+	for e := range ev.cstar {
+		id := graph.EdgeID(e)
+		if !s.IsScheduled(id) {
+			total += ev.cstar[e]
+			continue
+		}
+		if s.IsPush(id) {
+			total += ev.r.Prod[ev.src[e]]
+		}
+		if s.IsPull(id) {
+			total += ev.r.Cons[ev.g.EdgeTarget(id)]
+		}
+	}
+	ev.cost = total
+}
+
+// ApplyPush adds edge e to the push set, adjusting the running cost by
+// exactly the marginal push cost. e must not be covered-only (the
+// candidate rules never push a covered edge).
+func (ev *Evaluator) ApplyPush(e graph.EdgeID) {
+	ev.cost += ev.pushCost(e, ev.src[e])
+	ev.sched.SetPush(e)
+}
+
+// ApplyPull adds edge e to the pull set, adjusting the running cost by
+// exactly the marginal pull cost. e must not be covered-only.
+func (ev *Evaluator) ApplyPull(e graph.EdgeID) {
+	ev.cost += ev.pullCost(e, ev.g.EdgeTarget(e))
+	ev.sched.SetPull(e)
+}
+
+// ApplyCover marks edge e covered through hub: an unscheduled edge
+// stops owing its hybrid cost; an already-scheduled edge keeps paying
+// for its flags (coverage itself is free).
+func (ev *Evaluator) ApplyCover(e graph.EdgeID, hub graph.NodeID) {
+	if !ev.sched.IsScheduled(e) {
+		ev.cost -= ev.cstar[e]
+	}
+	ev.sched.SetCovered(e, hub)
 }
 
 // Schedule returns the mutable schedule under optimization.
@@ -462,12 +522,12 @@ func (ev *Evaluator) subsetGain(c *Candidate, keep []int32) float64 {
 }
 
 // Apply commits the decided subset: pull on w → y, pushes x → w, and hub
-// coverage of the cross-edges.
+// coverage of the cross-edges. The running cost tracks every write.
 func (ev *Evaluator) Apply(c *Candidate, keep []int32) {
-	ev.sched.SetPull(c.HubEdge)
+	ev.ApplyPull(c.HubEdge)
 	for _, j := range keep {
-		ev.sched.SetPush(c.XWEdges[j])
-		ev.sched.SetCovered(c.XYEdges[j], c.W)
+		ev.ApplyPush(c.XWEdges[j])
+		ev.ApplyCover(c.XYEdges[j], c.W)
 	}
 }
 

@@ -40,7 +40,6 @@ import (
 	"context"
 
 	"piggyback/internal/bitset"
-	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/mapreduce"
 	"piggyback/internal/nosy"
@@ -74,9 +73,7 @@ func SolveCtx(ctx context.Context, g *graph.Graph, r *workload.Rates, cfg nosy.C
 		stat := iterate(ev, cc, opts)
 		stat.Iteration = it
 		if cfg.TraceCosts {
-			snap := ev.Schedule().Clone()
-			snap.Finalize(r)
-			stat.Cost = snap.Cost(r)
+			stat.Cost = ev.Cost() // O(1) running finalized-equivalent cost
 		}
 		iters = append(iters, stat)
 		if cfg.OnIteration != nil {
@@ -286,8 +283,8 @@ func iterate(ev *nosy.Evaluator, cc *candCache, opts mapreduce.Options) nosy.Ite
 
 	// Merge job: apply updates. Lock ownership makes them disjoint per
 	// edge, so order does not matter. Commit markers fan the commit's
-	// dirty neighborhood out to the next round.
-	s := ev.Schedule()
+	// dirty neighborhood out to the next round. Mutations go through the
+	// Evaluator's Apply* methods so its running cost stays exact.
 	g := ev.Graph()
 	for _, o := range outs {
 		if o.mark {
@@ -302,7 +299,7 @@ func iterate(ev *nosy.Evaluator, cc *candCache, opts mapreduce.Options) nosy.Ite
 			markDirty(g, cc.dirty, c.Y)
 			continue
 		}
-		applyUpdate(s, o.upd)
+		applyUpdate(ev, o.upd)
 	}
 	return stat
 }
@@ -322,13 +319,13 @@ func markDirty(g *graph.Graph, dirty *bitset.Set, v graph.NodeID) {
 	}
 }
 
-func applyUpdate(s *core.Schedule, u update) {
+func applyUpdate(ev *nosy.Evaluator, u update) {
 	switch u.op {
 	case opPush:
-		s.SetPush(u.edge)
+		ev.ApplyPush(u.edge)
 	case opPull:
-		s.SetPull(u.edge)
+		ev.ApplyPull(u.edge)
 	case opCover:
-		s.SetCovered(u.edge, u.hub)
+		ev.ApplyCover(u.edge, u.hub)
 	}
 }

@@ -65,6 +65,11 @@ const (
 	// SolverNosy re-solves regions in place with PARALLELNOSY
 	// restricted to the region edge set.
 	SolverNosy
+	// SolverAuto picks per region through the feature-based selector
+	// ("auto"), fed by the daemon's drift tracker: small dirty regions
+	// get restricted NOSY, badly degraded regions (accumulated dirt
+	// exceeding the region's own cost mass) get induced CHITCHAT.
+	SolverAuto
 )
 
 // Config tunes the daemon. The zero value uses the defaults.
@@ -112,6 +117,9 @@ type Config struct {
 	ChitChat chitchat.Config
 	// Nosy configures SolverNosy re-solves.
 	Nosy nosy.Config
+	// Registry resolves solver names for SolverAuto; nil means
+	// solver.Default. Ignored by the other kinds and by Regional.
+	Registry *solver.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -159,6 +167,11 @@ type Stats struct {
 	// BoundaryRepairs counts exterior coverage supports restored by
 	// splices.
 	BoundaryRepairs int
+	// ResolveWall is the cumulative wall-clock time spent inside the
+	// regional solver (accepted and reverted re-solves alike) — the
+	// daemon's re-solve latency budget, what the selector is meant to
+	// spend better.
+	ResolveWall time.Duration
 }
 
 // Daemon maintains a near-optimal schedule over a churning graph. Not
@@ -194,7 +207,12 @@ type Daemon struct {
 	// threshold, so the check (an O(n) scan plus region extraction) is
 	// skipped entirely.
 	charged bool
-	stats   Stats
+	// regionSeverity is the drift tracker's dirt/cost ratio of the
+	// region currently being re-solved — the degradation hint the
+	// SolverAuto selector reads (checkDrift writes it just before each
+	// resolveRegion).
+	regionSeverity float64
+	stats          Stats
 }
 
 // New starts a daemon from an optimized valid schedule and its rates.
@@ -215,6 +233,16 @@ func New(s *core.Schedule, r *workload.Rates, cfg Config) (*Daemon, error) {
 		switch d.cfg.Solver {
 		case SolverNosy:
 			d.regional = solver.NewNosy(d.cfg.Nosy)
+		case SolverAuto:
+			// The PR-4 drift tracker feeds the selector: the hint closure
+			// reads the dirt/cost ratio of the region checkDrift decided
+			// to re-solve, so the rule table can route badly degraded
+			// regions to the quality reference.
+			d.regional = solver.NewSelector(solver.SelectorConfig{
+				Registry: d.cfg.Registry,
+				Options:  solver.Options{Workers: d.cfg.Nosy.Workers},
+				Hint:     func(solver.Problem) float64 { return d.regionSeverity },
+			})
 		default:
 			d.regional = solver.NewChitChat(d.cfg.ChitChat)
 		}
@@ -445,6 +473,7 @@ func (d *Daemon) checkDrift(ctx context.Context) {
 			float64(d.stats.RegionEdges+len(regionEdges)) > d.cfg.BudgetFraction*float64(d.m.NumEdges()) {
 			return // out of re-solve budget; keep patching incrementally
 		}
+		d.regionSeverity = regionDirt / math.Max(regionCost, 1e-9)
 		d.resolveRegion(ctx, region)
 		threshold = d.cfg.DriftThreshold * float64(int64(1)<<min(d.revertStreak, 40))
 	}
@@ -483,12 +512,14 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 		defer cancel()
 	}
 	var patched *core.Schedule
+	solveStart := time.Now()
 	res, err := d.regional.Solve(rctx, solver.Problem{
 		Graph:  liveG,
 		Rates:  d.r,
 		Base:   liveS,
 		Region: regionEdges,
 	})
+	d.stats.ResolveWall += time.Since(solveStart)
 	if res != nil {
 		// A context-truncated re-solve still returns a valid best-so-far
 		// patch (res non-nil alongside err); only hard failures leave

@@ -58,7 +58,7 @@ import (
 const Name = "shard"
 
 func init() {
-	solver.Register(Name, func(o solver.Options) solver.Solver {
+	solver.Default.MustRegister(Name, func(o solver.Options) solver.Solver {
 		return New(Config{
 			Shards:         o.Shards,
 			Workers:        o.Workers,
@@ -66,7 +66,7 @@ func init() {
 			InstanceBudget: o.InstanceBudget,
 			Progress:       o.Progress,
 		})
-	})
+	}, solver.Meta{Cost: solver.CostExpensive})
 }
 
 // autoShardEdges sizes the auto partition: one shard per ~128k edges, so
@@ -84,6 +84,8 @@ type Config struct {
 	// Inner names the registry solver run on each shard; "" means
 	// chitchat.
 	Inner string
+	// Registry resolves Inner; nil means solver.Default.
+	Registry *solver.Registry
 	// Seed varies the partition layout. The default (0) is fine; the
 	// knob exists for partition-sensitivity experiments.
 	Seed int64
@@ -106,6 +108,20 @@ func (s *shardSolver) Name() string { return Name }
 // SupportsRegions implements solver.RegionCapable: a region re-solve is
 // already a localized problem; sharding it again has no purpose.
 func (s *shardSolver) SupportsRegions() bool { return false }
+
+// ChainProgress implements solver.ProgressChainer: fn is appended to
+// the per-shard progress stream, after any previously configured sink.
+func (s *shardSolver) ChainProgress(fn func(solver.ProgressEvent)) {
+	prev := s.cfg.Progress
+	if prev == nil {
+		s.cfg.Progress = fn
+		return
+	}
+	s.cfg.Progress = func(ev solver.ProgressEvent) {
+		prev(ev)
+		fn(ev)
+	}
+}
 
 // shardResult carries one finished shard back to the coordinator.
 type shardResult struct {
@@ -138,13 +154,17 @@ func (s *shardSolver) Solve(ctx context.Context, p solver.Problem) (*solver.Resu
 	if inner == "" {
 		inner = solver.ChitChat
 	}
+	reg := s.cfg.Registry
+	if reg == nil {
+		reg = solver.Default
+	}
 	innerOpts := solver.Options{
 		Workers:        1,
 		MaxCrossEdges:  s.cfg.MaxCrossEdges,
 		InstanceBudget: s.cfg.InstanceBudget,
 	}
 	// Fail on unknown inner names before doing any partitioning work.
-	if _, err := solver.Get(inner); err != nil {
+	if _, err := reg.Get(inner); err != nil {
 		return nil, fmt.Errorf("solver %s: inner solver: %w", Name, err)
 	}
 
@@ -172,7 +192,7 @@ func (s *shardSolver) Solve(ctx context.Context, p solver.Problem) (*solver.Resu
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			isv, _ := solver.New(inner, innerOpts)
+			isv, _ := reg.New(inner, innerOpts)
 			for idx := range next {
 				results <- solveShard(innerCtx, isv, g, p.Rates, groups[idx], idx)
 			}

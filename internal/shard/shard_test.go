@@ -33,7 +33,7 @@ func sameSchedule(t *testing.T, label string, a, b *core.Schedule, g *graph.Grap
 // The -short registry smoke test: the solver is registered, solves a
 // small graph end-to-end, and the result is Theorem-1 valid.
 func TestShardRegistrySmoke(t *testing.T) {
-	sv, err := solver.New(Name, solver.Options{Shards: 4})
+	sv, err := solver.Default.New(Name, solver.Options{Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestShardOneShardMatchesUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := solver.New(solver.ChitChat, solver.Options{Workers: 1})
+	plain, err := solver.Default.New(solver.ChitChat, solver.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestShardOneShardMatchesUnsharded(t *testing.T) {
 // byte-identical — the ratio is exactly 1.
 func TestShardQuickCostWithinFivePercent(t *testing.T) {
 	p := quickProblem(t)
-	plain, err := solver.New(solver.ChitChat, solver.Options{Workers: 1})
+	plain, err := solver.Default.New(solver.ChitChat, solver.Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,41 +27,38 @@ const (
 )
 
 func init() {
-	Register(ChitChat, func(o Options) Solver {
+	Default.MustRegister(ChitChat, func(o Options) Solver {
 		return withProgress(NewChitChat(chitchat.Config{
 			Workers:        o.Workers,
 			MaxCrossEdges:  o.MaxCrossEdges,
 			InstanceBudget: o.InstanceBudget,
 		}), o.Progress)
-	})
-	Register(Nosy, func(o Options) Solver {
+	}, Meta{Regions: true, Cost: CostExpensive})
+	Default.MustRegister(Nosy, func(o Options) Solver {
 		return withProgress(NewNosy(nosy.Config{
 			Workers:       o.Workers,
 			MaxIterations: o.MaxIterations,
 			MaxCrossEdges: o.MaxCrossEdges,
 			TraceCosts:    o.TraceCosts,
 		}), o.Progress)
-	})
-	Register(NosyMapReduce, func(o Options) Solver {
+	}, Meta{Regions: true, Cost: CostModerate})
+	Default.MustRegister(NosyMapReduce, func(o Options) Solver {
 		return withProgress(NewNosyMapReduce(nosy.Config{
 			Workers:       o.Workers,
 			MaxIterations: o.MaxIterations,
 			MaxCrossEdges: o.MaxCrossEdges,
 			TraceCosts:    o.TraceCosts,
 		}), o.Progress)
-	})
-	Register(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} })
-	Register(PushAll, func(Options) Solver { return baselineSolver{PushAll} })
-	Register(PullAll, func(Options) Solver { return baselineSolver{PullAll} })
+	}, Meta{Cost: CostModerate})
+	Default.MustRegister(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} }, Meta{Cost: CostCheap})
+	Default.MustRegister(PushAll, func(Options) Solver { return baselineSolver{PushAll} }, Meta{Cost: CostCheap})
+	Default.MustRegister(PullAll, func(Options) Solver { return baselineSolver{PullAll} }, Meta{Cost: CostCheap})
 }
 
 // withProgress attaches a progress sink to a typed-constructor solver.
 func withProgress(s Solver, fn func(ProgressEvent)) Solver {
-	switch sv := s.(type) {
-	case *chitchatSolver:
-		sv.progress = fn
-	case *nosySolver:
-		sv.progress = fn
+	if fn != nil {
+		Observe(s, fn)
 	}
 	return s
 }
@@ -155,6 +152,12 @@ func (s *chitchatSolver) Name() string { return ChitChat }
 // SupportsRegions implements RegionCapable.
 func (s *chitchatSolver) SupportsRegions() bool { return true }
 
+// ChainProgress implements ProgressChainer: fn is appended to the
+// solver's progress stream, after any previously attached sink.
+func (s *chitchatSolver) ChainProgress(fn func(ProgressEvent)) {
+	s.progress = chainSinks(s.progress, fn)
+}
+
 func (s *chitchatSolver) Solve(ctx context.Context, p Problem) (res *Result, err error) {
 	defer guard(s.Name(), &res, &err)
 	if err := checkProblem(p); err != nil {
@@ -227,6 +230,26 @@ func (s *nosySolver) Name() string {
 // SupportsRegions implements RegionCapable: only the shared-memory
 // substrate has the restricted entry point.
 func (s *nosySolver) SupportsRegions() bool { return !s.mr }
+
+// ChainProgress implements ProgressChainer: fn is appended to the
+// solver's progress stream, after any previously attached sink.
+func (s *nosySolver) ChainProgress(fn func(ProgressEvent)) {
+	s.progress = chainSinks(s.progress, fn)
+}
+
+// chainSinks composes two progress sinks, tolerating nils.
+func chainSinks(prev, next func(ProgressEvent)) func(ProgressEvent) {
+	if prev == nil {
+		return next
+	}
+	if next == nil {
+		return prev
+	}
+	return func(ev ProgressEvent) {
+		prev(ev)
+		next(ev)
+	}
+}
 
 func (s *nosySolver) Solve(ctx context.Context, p Problem) (res *Result, err error) {
 	defer guard(s.Name(), &res, &err)

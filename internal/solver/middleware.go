@@ -1,0 +1,216 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"piggyback/internal/stats"
+)
+
+// Middleware wraps a Solver with cross-cutting behavior — metrics,
+// logging, budgets — without the solver knowing. Middlewares compose
+// with Chain and preserve the wrapped solver's Name, region capability,
+// and progress stream.
+type Middleware func(Solver) Solver
+
+// Chain applies the middlewares to s left to right: the first is
+// outermost, so Chain(s, a, b) solves through a(b(s)).
+func Chain(s Solver, mws ...Middleware) Solver {
+	for i := len(mws) - 1; i >= 0; i-- {
+		if mws[i] != nil {
+			s = mws[i](s)
+		}
+	}
+	return s
+}
+
+// ProgressChainer is an optional interface a Solver implements to let
+// wrappers attach additional progress sinks after construction (the
+// factory binds Options.Progress at build time; middleware arrives
+// later). Implementations must preserve previously attached sinks.
+type ProgressChainer interface {
+	ChainProgress(fn func(ProgressEvent))
+}
+
+// Observe attaches fn to s's progress stream when s supports chaining,
+// reporting whether the attachment took effect. Existing sinks keep
+// firing; fn runs after them on the solve goroutine.
+func Observe(s Solver, fn func(ProgressEvent)) bool {
+	if pc, ok := s.(ProgressChainer); ok {
+		pc.ChainProgress(fn)
+		return true
+	}
+	return false
+}
+
+// wrapped is the embeddable base of every shipped middleware: it
+// forwards identity, region capability, and progress chaining to the
+// inner solver, so a wrapped chitchat still reports Name "chitchat",
+// still declares region support, and still streams progress.
+type wrapped struct{ inner Solver }
+
+func (w wrapped) Name() string { return w.inner.Name() }
+
+// SupportsRegions implements RegionCapable by delegation.
+func (w wrapped) SupportsRegions() bool { return SupportsRegions(w.inner) }
+
+// ChainProgress implements ProgressChainer by delegation; a no-op when
+// the inner solver has no progress stream (the one-shot baselines).
+func (w wrapped) ChainProgress(fn func(ProgressEvent)) { Observe(w.inner, fn) }
+
+// WithMetrics records every solve into sink: wall time, iterations,
+// progress events observed, final cost, cancellation and failure — the
+// per-solver counters `cmd/experiments -middleware metrics` tabulates.
+func WithMetrics(sink *stats.SolverMetrics) Middleware {
+	return func(next Solver) Solver {
+		m := &metricsSolver{wrapped: wrapped{next}, sink: sink}
+		Observe(next, func(ProgressEvent) { m.events.Add(1) })
+		return m
+	}
+}
+
+type metricsSolver struct {
+	wrapped
+	sink   *stats.SolverMetrics
+	events atomic.Int64 // cumulative across solves; per-solve = delta
+}
+
+func (m *metricsSolver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	before := m.events.Load()
+	start := time.Now()
+	res, err := m.inner.Solve(ctx, p)
+	rec := stats.SolveRecord{
+		Wall:   time.Since(start),
+		Events: m.events.Load() - before,
+		Failed: res == nil,
+	}
+	if res != nil {
+		rec.Iterations = res.Report.Iterations
+		rec.Cost = res.Report.Cost
+		rec.Canceled = res.Report.Canceled
+	}
+	m.sink.Record(m.Name(), rec)
+	return res, err
+}
+
+// WithLogging writes one line when a solve starts and one when it
+// finishes (cost, iterations, wall time, error) through logf —
+// typically log.Printf.
+func WithLogging(logf func(format string, args ...any)) Middleware {
+	return func(next Solver) Solver {
+		return &loggingSolver{wrapped: wrapped{next}, logf: logf}
+	}
+}
+
+type loggingSolver struct {
+	wrapped
+	logf func(format string, args ...any)
+}
+
+func (l *loggingSolver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	if p.Region == nil {
+		l.logf("solver %s: solving %d nodes / %d edges", l.Name(), p.Graph.NumNodes(), p.Graph.NumEdges())
+	} else {
+		l.logf("solver %s: re-solving region of %d edges", l.Name(), len(p.Region))
+	}
+	start := time.Now()
+	res, err := l.inner.Solve(ctx, p)
+	switch {
+	case res == nil:
+		l.logf("solver %s: failed after %v: %v", l.Name(), time.Since(start).Round(time.Millisecond), err)
+	case err != nil:
+		l.logf("solver %s: canceled after %d iterations, %v (best-so-far cost %.1f): %v",
+			l.Name(), res.Report.Iterations, time.Since(start).Round(time.Millisecond), res.Report.Cost, err)
+	default:
+		l.logf("solver %s: done in %d iterations, %v, cost %.1f",
+			l.Name(), res.Report.Iterations, time.Since(start).Round(time.Millisecond), res.Report.Cost)
+	}
+	return res, err
+}
+
+// WithRecover converts ANY panic escaping Solve into a returned error.
+// The built-ins already convert the typed library panics; this is the
+// belt-and-braces wrapper for third-party registrants running inside a
+// serving process.
+func WithRecover() Middleware {
+	return func(next Solver) Solver {
+		return &recoverSolver{wrapped{next}}
+	}
+}
+
+type recoverSolver struct{ wrapped }
+
+func (rs *recoverSolver) Solve(ctx context.Context, p Problem) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("solver %s: panic: %v", rs.Name(), r)
+		}
+	}()
+	return rs.inner.Solve(ctx, p)
+}
+
+// WithBudget bounds a solve at `units` work units, counted as progress
+// events — PARALLELNOSY rounds, CHITCHAT greedy commits, shard
+// completions. Unlike a wall-clock deadline, the budget is
+// DETERMINISTIC: events fire at iteration boundaries on the solve
+// goroutine in an order independent of machine speed and worker count,
+// and the solvers stop within one iteration of the cancellation the
+// budget triggers, so two runs with the same budget produce
+// byte-identical schedules (the ROADMAP item-3 follow-up).
+//
+// The budget stop is NOT surfaced as an error: the result comes back
+// with a nil error and Report.Canceled=true as the truncation marker.
+// Cancellation of the caller's own context propagates as usual.
+// Solvers without a progress stream (the baselines) are unaffected.
+func WithBudget(units int) Middleware {
+	return func(next Solver) Solver {
+		b := &budgetSolver{wrapped: wrapped{next}, units: int64(units)}
+		b.supported = Observe(next, b.onEvent)
+		return b
+	}
+}
+
+type budgetSolver struct {
+	wrapped
+	units     int64
+	supported bool
+	state     atomic.Pointer[budgetState] // per-solve; nil between solves
+}
+
+type budgetState struct {
+	n      atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (b *budgetSolver) onEvent(ProgressEvent) {
+	st := b.state.Load()
+	if st == nil {
+		return
+	}
+	if st.n.Add(1) >= b.units {
+		st.cancel()
+	}
+}
+
+func (b *budgetSolver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	if b.units <= 0 || !b.supported {
+		return b.inner.Solve(ctx, p)
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &budgetState{cancel: cancel}
+	b.state.Store(st)
+	defer b.state.Store(nil)
+	res, err := b.inner.Solve(bctx, p)
+	if err != nil && ctx.Err() == nil && errors.Is(err, context.Canceled) && st.n.Load() >= b.units {
+		// The budget, not the caller, stopped the solve: a deterministic
+		// completion, not a cancellation. Report.Canceled stays true as
+		// the truncation marker.
+		return res, nil
+	}
+	return res, err
+}

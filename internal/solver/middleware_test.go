@@ -1,0 +1,257 @@
+package solver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"piggyback/internal/chitchat"
+	"piggyback/internal/nosy"
+	"piggyback/internal/stats"
+)
+
+// tagSolver records the order middleware layers run in.
+type tagSolver struct {
+	wrapped
+	tag   string
+	order *[]string
+}
+
+func (ts *tagSolver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	*ts.order = append(*ts.order, ts.tag)
+	return ts.inner.Solve(ctx, p)
+}
+
+func tagMiddleware(tag string, order *[]string) Middleware {
+	return func(next Solver) Solver {
+		return &tagSolver{wrapped: wrapped{next}, tag: tag, order: order}
+	}
+}
+
+// Chain(s, a, b) must solve through a(b(s)): first middleware outermost.
+func TestChainOrder(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	var order []string
+	sv := Chain(baselineSolver{Hybrid},
+		tagMiddleware("outer", &order),
+		nil, // nil entries are skipped
+		tagMiddleware("inner", &order),
+	)
+	if sv.Name() != Hybrid {
+		t.Fatalf("chained Name() = %q, want %q", sv.Name(), Hybrid)
+	}
+	if _, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r}); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"outer", "inner"}; len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("layer order = %v, want %v", order, want)
+	}
+}
+
+// Wrapping preserves identity, region capability, and the progress
+// stream.
+func TestMiddlewarePreservesContract(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	sv := Chain(NewNosy(nosy.Config{Workers: 1}),
+		WithRecover(), WithMetrics(&stats.SolverMetrics{}), WithBudget(1000))
+	if sv.Name() != Nosy {
+		t.Errorf("Name() through 3 layers = %q, want %q", sv.Name(), Nosy)
+	}
+	if !SupportsRegions(sv) {
+		t.Errorf("SupportsRegions lost through middleware")
+	}
+	var events int
+	if !Observe(sv, func(ProgressEvent) { events++ }) {
+		t.Fatalf("progress chaining lost through middleware")
+	}
+	if _, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r}); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Errorf("no progress events reached the outer sink")
+	}
+}
+
+func TestWithMetricsRecords(t *testing.T) {
+	g, r := quickProblem(t, 120)
+	sink := &stats.SolverMetrics{}
+	sv := Chain(NewNosy(nosy.Config{Workers: 1}), WithMetrics(sink))
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r}); err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Snapshot()
+	st, ok := snap[Nosy]
+	if !ok {
+		t.Fatalf("no stats recorded under %q; have %v", Nosy, sink.Names())
+	}
+	if st.Solves != 2 || st.Failures != 0 || st.Canceled != 0 {
+		t.Fatalf("stats = %+v, want 2 clean solves", st)
+	}
+	if st.Iterations == 0 || st.Events == 0 || st.Wall <= 0 {
+		t.Fatalf("counters not accumulated: %+v", st)
+	}
+	if st.LastCost != res.Report.Cost {
+		t.Fatalf("LastCost = %v, want %v", st.LastCost, res.Report.Cost)
+	}
+	if !strings.Contains(sink.Table(), Nosy) {
+		t.Fatalf("Table() does not mention %q:\n%s", Nosy, sink.Table())
+	}
+}
+
+type panicSolver struct{}
+
+func (panicSolver) Name() string                                    { return "boom" }
+func (panicSolver) Solve(context.Context, Problem) (*Result, error) { panic("kaboom") }
+
+func TestWithRecoverConvertsPanic(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	sv := Chain(panicSolver{}, WithRecover())
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if res != nil {
+		t.Fatalf("panicking solve returned a result")
+	}
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want wrapped panic", err)
+	}
+	// Failures reach the metrics sink as failures, not as crashes.
+	sink := &stats.SolverMetrics{}
+	sv = Chain(panicSolver{}, WithMetrics(sink), WithRecover())
+	if _, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r}); err == nil {
+		t.Fatal("expected error")
+	}
+	if st := sink.Snapshot()["boom"]; st.Failures != 1 {
+		t.Fatalf("failure not recorded: %+v", st)
+	}
+}
+
+func TestWithLoggingLines(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	var lines []string
+	logf := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	sv := Chain(baselineSolver{Hybrid}, WithLogging(logf))
+	if _, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want start+finish:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "solving") || !strings.Contains(lines[1], "done") {
+		t.Fatalf("unexpected log lines:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// The budget middleware truncates deterministically: same budget ⇒
+// byte-identical schedule, independent of the member's worker count.
+// The budget stop is a completion (nil error) flagged by
+// Report.Canceled.
+func TestWithBudgetDeterministicTruncation(t *testing.T) {
+	g, r := quickProblem(t, 250)
+
+	// Reference: converged run takes more rounds than the budget.
+	full := NewNosy(nosy.Config{Workers: 1})
+	fres, err := full.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2
+	if fres.Report.Iterations <= budget {
+		t.Fatalf("instance converges in %d rounds; budget %d does not bite", fres.Report.Iterations, budget)
+	}
+
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		sv := Chain(NewNosy(nosy.Config{Workers: workers}), WithBudget(budget))
+		res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+		if err != nil {
+			t.Fatalf("workers=%d: budget stop surfaced as error: %v", workers, err)
+		}
+		if !res.Report.Canceled {
+			t.Fatalf("workers=%d: truncated run not flagged Canceled", workers)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("workers=%d: truncated schedule invalid: %v", workers, err)
+		}
+		// The solver stops within one iteration of the budget firing.
+		if got := res.Report.Iterations; got > budget+1 {
+			t.Fatalf("workers=%d: ran %d iterations on a %d budget", workers, got, budget)
+		}
+		b := scheduleBytes(t, res.Schedule)
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Fatalf("workers=%d: truncated schedule differs from workers=1", workers)
+		}
+	}
+
+	// A budget the solve never reaches changes nothing.
+	sv := Chain(NewNosy(nosy.Config{Workers: 1}), WithBudget(10000))
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Canceled {
+		t.Fatalf("unreached budget flagged the run Canceled")
+	}
+	if !bytes.Equal(scheduleBytes(t, res.Schedule), scheduleBytes(t, fres.Schedule)) {
+		t.Fatalf("unreached budget changed the schedule")
+	}
+}
+
+// The budget applies to CHITCHAT's commit stream too.
+func TestWithBudgetChitChat(t *testing.T) {
+	g, r := quickProblem(t, 250)
+	const budget = 10
+	sv := Chain(NewChitChat(chitchat.Config{Workers: 1}), WithBudget(budget))
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Canceled {
+		t.Fatal("truncated chitchat not flagged Canceled")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("truncated schedule invalid: %v", err)
+	}
+	if got := res.Report.Iterations; got > budget {
+		t.Fatalf("committed %d times on a %d-commit budget", got, budget)
+	}
+}
+
+// Caller cancellation is NOT swallowed by the budget layer.
+func TestWithBudgetPropagatesOuterCancel(t *testing.T) {
+	g, r := quickProblem(t, 120)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sv := Chain(NewNosy(nosy.Config{Workers: 1}), WithBudget(1000))
+	res, err := sv.Solve(ctx, Problem{Graph: g, Rates: r})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Schedule.Validate() != nil {
+		t.Fatal("anytime contract broken under outer cancel")
+	}
+}
+
+// Budget-less or progress-less solvers pass through untouched.
+func TestWithBudgetNoopCases(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	for _, sv := range []Solver{
+		Chain(baselineSolver{Hybrid}, WithBudget(1)),           // no progress stream
+		Chain(NewNosy(nosy.Config{Workers: 1}), WithBudget(0)), // no budget
+	} {
+		res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.Canceled {
+			t.Fatalf("%s: no-op budget flagged Canceled", sv.Name())
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Portfolio is the registry name of the racing portfolio solver.
+const Portfolio = "portfolio"
+
+func init() {
+	Default.MustRegister(Portfolio, func(o Options) Solver {
+		// Options.MaxIterations becomes the per-member work-unit budget:
+		// the deterministic bound is the portfolio's notion of "same
+		// iteration cap" across members with different iteration shapes.
+		memberOpts := o
+		memberOpts.MaxIterations = 0
+		memberOpts.Progress = nil
+		return withProgress(NewPortfolio(PortfolioConfig{
+			Workers: o.Workers,
+			Budget:  o.MaxIterations,
+			Options: memberOpts,
+		}), o.Progress)
+	}, Meta{Regions: true, Cost: CostExpensive})
+}
+
+// DefaultPortfolioMembers are the entries raced when PortfolioConfig
+// leaves Members empty: the quality reference and the parallel
+// heuristic — the two real algorithms of the paper.
+var DefaultPortfolioMembers = []string{ChitChat, Nosy}
+
+// PortfolioConfig parameterizes the portfolio solver.
+type PortfolioConfig struct {
+	// Registry resolves member names; nil means Default.
+	Registry *Registry
+	// Members are the registry entries to race; empty means
+	// DefaultPortfolioMembers. Duplicates and the portfolio's own name
+	// are dropped.
+	Members []string
+	// Workers bounds concurrently racing members; 0 means race all at
+	// once. The winner is byte-identical for every value: selection
+	// considers every member's result, not the first to finish.
+	Workers int
+	// Budget, when positive, bounds every member at that many work
+	// units via WithBudget — the deterministic alternative to a
+	// wall-clock deadline (same budget ⇒ same winner, byte-identical).
+	Budget int
+	// Options configures each member (Workers here is the member's own
+	// parallelism; racer concurrency is the field above). Progress is
+	// ignored — attach sinks to the portfolio solver itself.
+	Options Options
+}
+
+// NewPortfolio returns the portfolio solver: it races its members under
+// one context, each goroutine running a fresh instance with the PR-5
+// anytime semantics, and returns the best Validate()-clean schedule.
+// Ties break deterministically on (cost, then member name).
+func NewPortfolio(cfg PortfolioConfig) Solver { return &portfolioSolver{cfg: cfg} }
+
+type portfolioSolver struct {
+	cfg      PortfolioConfig
+	progress func(ProgressEvent)
+}
+
+func (s *portfolioSolver) Name() string { return Portfolio }
+
+// SupportsRegions implements RegionCapable: region problems race the
+// region-capable members only.
+func (s *portfolioSolver) SupportsRegions() bool { return true }
+
+// ChainProgress implements ProgressChainer. Member events (already
+// labeled with the member's name) are serialized through one mutex
+// before reaching the sink, preserving the "one goroutine at a time"
+// contract even while members race.
+func (s *portfolioSolver) ChainProgress(fn func(ProgressEvent)) {
+	s.progress = chainSinks(s.progress, fn)
+}
+
+func (s *portfolioSolver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	if err := checkProblem(p); err != nil {
+		return nil, err
+	}
+	reg := s.cfg.Registry
+	if reg == nil {
+		reg = Default
+	}
+	names := s.cfg.Members
+	if len(names) == 0 {
+		names = DefaultPortfolioMembers
+	}
+
+	// Build one fresh instance per member (instances are not safe for
+	// concurrent calls, and a race IS concurrent use).
+	var progressMu sync.Mutex
+	memberOpts := s.cfg.Options
+	memberOpts.Progress = nil
+	type racer struct {
+		name string
+		sv   Solver
+	}
+	var racers []racer
+	seen := map[string]bool{Portfolio: true}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		f, err := reg.Get(n)
+		if err != nil {
+			return nil, fmt.Errorf("solver %s: member: %w", Portfolio, err)
+		}
+		sv := f(memberOpts)
+		if p.Region != nil && !SupportsRegions(sv) {
+			continue
+		}
+		if s.progress != nil {
+			Observe(sv, func(ev ProgressEvent) {
+				progressMu.Lock()
+				s.progress(ev)
+				progressMu.Unlock()
+			})
+		}
+		if s.cfg.Budget > 0 {
+			sv = WithBudget(s.cfg.Budget)(sv)
+		}
+		racers = append(racers, racer{name: n, sv: sv})
+	}
+	if len(racers) == 0 {
+		if p.Region != nil {
+			return nil, fmt.Errorf("solver %s: no region-capable member: %w", Portfolio, ErrRegionUnsupported)
+		}
+		return nil, fmt.Errorf("solver %s: no members", Portfolio)
+	}
+
+	// Race. Results land in per-racer slots, so collection order — and
+	// therefore the selection below — is independent of goroutine
+	// scheduling and of the racer-concurrency cap.
+	workers := s.cfg.Workers
+	if workers <= 0 || workers > len(racers) {
+		workers = len(racers)
+	}
+	results := make([]*Result, len(racers))
+	errs := make([]error, len(racers))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range racers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = racers[i].sv.Solve(ctx, p)
+		}(i)
+	}
+	wg.Wait()
+
+	// Select: lowest valid cost wins; ties break on the lexicographically
+	// smaller member name. Region patches are priced over the full
+	// spliced schedule (Report.Cost is NaN there by contract).
+	best := -1
+	bestCost := 0.0
+	for i, res := range results {
+		if res == nil || res.Schedule == nil || res.Schedule.Validate() != nil {
+			continue
+		}
+		c := res.Schedule.Cost(p.Rates)
+		if best < 0 || c < bestCost || (c == bestCost && racers[i].name < racers[best].name) {
+			best, bestCost = i, c
+		}
+	}
+	if best < 0 {
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("solver %s: every member failed; first: %w", Portfolio, err)
+			}
+		}
+		return nil, fmt.Errorf("solver %s: no member produced a valid schedule", Portfolio)
+	}
+	res := results[best]
+	// The winner's Report is returned intact — Report.Solver names the
+	// member that won, which is the informative answer.
+	if cause := ctx.Err(); cause != nil {
+		res.Report.Canceled = true
+		return res, cause
+	}
+	return res, nil
+}

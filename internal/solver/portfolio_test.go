@@ -1,0 +1,252 @@
+package solver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+)
+
+// fixedSolver returns a prebuilt result — for selection-logic tests.
+type fixedSolver struct {
+	name string
+	s    *core.Schedule
+	err  error
+}
+
+func (f fixedSolver) Name() string { return f.name }
+func (f fixedSolver) Solve(context.Context, Problem) (*Result, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	return &Result{Schedule: f.s, Report: Report{Solver: f.name, Cost: 0}}, nil
+}
+
+// The acceptance criterion: the portfolio is never costlier than its
+// best member on the reference graphs.
+func TestPortfolioNeverWorseThanBestMember(t *testing.T) {
+	for _, nodes := range []int{150, 400} {
+		g, r := quickProblem(t, nodes)
+		p := Problem{Graph: g, Rates: r}
+
+		bestMember := 0.0
+		for i, name := range DefaultPortfolioMembers {
+			sv, err := Default.New(name, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sv.Solve(context.Background(), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c := res.Schedule.Cost(r); i == 0 || c < bestMember {
+				bestMember = c
+			}
+		}
+
+		pf := NewPortfolio(PortfolioConfig{Options: Options{Workers: 1}})
+		res, err := pf.Solve(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("winner invalid: %v", err)
+		}
+		if got := res.Schedule.Cost(r); got > bestMember {
+			t.Fatalf("nodes=%d: portfolio cost %v worse than best member %v", nodes, got, bestMember)
+		}
+		if res.Report.Solver == Portfolio {
+			t.Fatalf("Report.Solver = %q; want the winning member's name", res.Report.Solver)
+		}
+	}
+}
+
+// Same budget ⇒ byte-identical winner, across racer-concurrency caps
+// and member start-order permutations.
+func TestPortfolioDeterministic(t *testing.T) {
+	g, r := quickProblem(t, 250)
+	p := Problem{Graph: g, Rates: r}
+	const budget = 3
+
+	var ref []byte
+	var refName string
+	for _, members := range [][]string{
+		{ChitChat, Nosy},
+		{Nosy, ChitChat},
+		{Nosy, ChitChat, Nosy}, // duplicates are dropped
+	} {
+		for _, workers := range []int{1, 2} {
+			pf := NewPortfolio(PortfolioConfig{
+				Members: members,
+				Workers: workers,
+				Budget:  budget,
+				Options: Options{Workers: 1},
+			})
+			res, err := pf.Solve(context.Background(), p)
+			if err != nil {
+				t.Fatalf("members=%v workers=%d: %v", members, workers, err)
+			}
+			b := scheduleBytes(t, res.Schedule)
+			if ref == nil {
+				ref, refName = b, res.Report.Solver
+				continue
+			}
+			if !bytes.Equal(ref, b) {
+				t.Fatalf("members=%v workers=%d: schedule differs from reference", members, workers)
+			}
+			if res.Report.Solver != refName {
+				t.Fatalf("members=%v workers=%d: winner %q, reference %q", members, workers, res.Report.Solver, refName)
+			}
+		}
+	}
+}
+
+// Cancel mid-race: valid best-so-far schedule plus ctx.Err(), flagged
+// Canceled.
+func TestPortfolioCancelMidRace(t *testing.T) {
+	g, r := quickProblem(t, 250)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pf := NewPortfolio(PortfolioConfig{Options: Options{Workers: 1}})
+	events := 0
+	Observe(pf, func(ProgressEvent) {
+		events++
+		if events == 3 {
+			cancel()
+		}
+	})
+	res, err := pf.Solve(ctx, Problem{Graph: g, Rates: r})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("canceled race returned no result")
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("best-so-far schedule invalid: %v", err)
+	}
+	if !res.Report.Canceled {
+		t.Error("canceled race not flagged Canceled")
+	}
+	// The anytime members finalize hybrid-or-better.
+	if got, hy := res.Schedule.Cost(r), baseline.HybridCost(g, r); got > hy+1e-6 {
+		t.Errorf("best-so-far cost %v worse than hybrid %v", got, hy)
+	}
+}
+
+// Selection is (cost, then name): equal costs break on the
+// lexicographically smaller member name, regardless of member order.
+func TestPortfolioTieBreakOnName(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	s := baseline.Hybrid(g, r)
+	reg := NewRegistry()
+	reg.MustRegister("zzz", func(Options) Solver { return fixedSolver{name: "zzz", s: s} }, Meta{})
+	reg.MustRegister("aaa", func(Options) Solver { return fixedSolver{name: "aaa", s: s} }, Meta{})
+	for _, members := range [][]string{{"zzz", "aaa"}, {"aaa", "zzz"}} {
+		pf := NewPortfolio(PortfolioConfig{Registry: reg, Members: members})
+		res, err := pf.Solve(context.Background(), Problem{Graph: g, Rates: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.Solver != "aaa" {
+			t.Fatalf("members=%v: tie went to %q, want aaa", members, res.Report.Solver)
+		}
+	}
+}
+
+// A failing member does not sink the race; all-failed surfaces the
+// first member error.
+func TestPortfolioMemberFailures(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	s := baseline.Hybrid(g, r)
+	boom := errors.New("boom")
+	reg := NewRegistry()
+	reg.MustRegister("bad", func(Options) Solver { return fixedSolver{name: "bad", err: boom} }, Meta{})
+	reg.MustRegister("good", func(Options) Solver { return fixedSolver{name: "good", s: s} }, Meta{})
+
+	pf := NewPortfolio(PortfolioConfig{Registry: reg, Members: []string{"bad", "good"}})
+	res, err := pf.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatalf("race with one healthy member failed: %v", err)
+	}
+	if res.Report.Solver != "good" {
+		t.Fatalf("winner = %q, want good", res.Report.Solver)
+	}
+
+	pf = NewPortfolio(PortfolioConfig{Registry: reg, Members: []string{"bad"}})
+	if _, err := pf.Solve(context.Background(), Problem{Graph: g, Rates: r}); !errors.Is(err, boom) {
+		t.Fatalf("all-failed race err = %v, want wrapped member error", err)
+	}
+}
+
+// Unknown members are a configuration error, reported before racing.
+func TestPortfolioUnknownMember(t *testing.T) {
+	g, r := quickProblem(t, 60)
+	pf := NewPortfolio(PortfolioConfig{Members: []string{"no-such-algorithm"}})
+	if _, err := pf.Solve(context.Background(), Problem{Graph: g, Rates: r}); !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("err = %v, want ErrUnknownSolver", err)
+	}
+}
+
+// Region problems race only region-capable members and splice a valid
+// patched schedule.
+func TestPortfolioRegion(t *testing.T) {
+	g, r := quickProblem(t, 200)
+	base := baseline.Hybrid(g, r)
+	nodes := graph.KHop(g, []graph.NodeID{1, 7}, 2, 80)
+	region := graph.InducedEdgeIDs(g, nodes)
+	if len(region) == 0 {
+		t.Fatal("degenerate region")
+	}
+	// nosymr is region-incapable: it must be skipped, not break the race.
+	pf := NewPortfolio(PortfolioConfig{
+		Members: []string{ChitChat, Nosy, NosyMapReduce},
+		Options: Options{Workers: 1},
+	})
+	res, err := pf.Solve(context.Background(), Problem{Graph: g, Rates: r, Base: base, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("patched schedule invalid: %v", err)
+	}
+	if got, want := res.Schedule.Cost(r), base.Cost(r); got > want+1e-6 {
+		t.Fatalf("region re-solve worsened cost: %v > %v", got, want)
+	}
+
+	// Only region-incapable members: typed refusal.
+	pf = NewPortfolio(PortfolioConfig{Members: []string{NosyMapReduce}})
+	if _, err := pf.Solve(context.Background(), Problem{Graph: g, Rates: r, Base: base, Region: region}); !errors.Is(err, ErrRegionUnsupported) {
+		t.Fatalf("err = %v, want ErrRegionUnsupported", err)
+	}
+}
+
+// The registry entry wires Options.MaxIterations through as the
+// per-member budget.
+func TestPortfolioRegistryEntry(t *testing.T) {
+	g, r := quickProblem(t, 200)
+	sv, err := Default.New(Portfolio, Options{Workers: 1, MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	Observe(sv, func(ProgressEvent) { events++ })
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Error("no member progress reached the portfolio's sink")
+	}
+	// Each member stops within one iteration of its 2-unit budget.
+	if res.Report.Iterations > 3 {
+		t.Errorf("winner ran %d iterations on a 2-unit budget", res.Report.Iterations)
+	}
+}

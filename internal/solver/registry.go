@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,57 +11,170 @@ import (
 type Factory func(Options) Solver
 
 // ErrUnknownSolver is wrapped by Get for names nobody registered.
-var ErrUnknownSolver = fmt.Errorf("solver: unknown solver")
+var ErrUnknownSolver = errors.New("solver: unknown solver")
 
-var (
-	regMu    sync.RWMutex
-	registry = map[string]Factory{}
+// ErrDuplicateSolver is wrapped by Register when the name is taken —
+// a typed error instead of a silent overwrite, so library consumers
+// composing registries can detect collisions programmatically.
+// MustRegister (the init-time path) panics on it instead.
+var ErrDuplicateSolver = errors.New("solver: duplicate registration")
+
+// CostClass coarsely ranks how expensive a registered solver is per
+// solve — metadata the selector and portfolio consult when deciding
+// what to run, deliberately NOT a cost model (see DESIGN.md §10).
+type CostClass uint8
+
+const (
+	// CostUnknown is the zero value: nothing declared.
+	CostUnknown CostClass = iota
+	// CostCheap marks one-shot solvers (the baselines): O(m), no
+	// iteration.
+	CostCheap
+	// CostModerate marks iterative heuristics whose per-round work is
+	// proportional to what changed (PARALLELNOSY).
+	CostModerate
+	// CostExpensive marks quality references that pay for oracle calls
+	// or full re-solves (CHITCHAT, shard).
+	CostExpensive
 )
 
-// Register makes a solver available under name. It panics on an empty
-// name, a nil factory, or a duplicate registration — registry misuse is
-// a programmer error caught at init time, not a runtime condition.
-func Register(name string, f Factory) {
+// String renders the class for tables and logs.
+func (c CostClass) String() string {
+	switch c {
+	case CostCheap:
+		return "cheap"
+	case CostModerate:
+		return "moderate"
+	case CostExpensive:
+		return "expensive"
+	}
+	return "unknown"
+}
+
+// Meta is the per-entry registry metadata declared at registration.
+type Meta struct {
+	// Regions reports whether the solver handles Problem.Region
+	// re-solves. It mirrors what RegionCapable reports on an instance,
+	// but is queryable without building one.
+	Regions bool
+	// Cost is the solver's coarse cost class.
+	Cost CostClass
+}
+
+// entry pairs a factory with its declared metadata.
+type entry struct {
+	factory Factory
+	meta    Meta
+}
+
+// Registry maps solver names to factories plus metadata. It is a
+// first-class value: consumers hold one (usually Default), tests build
+// private ones, and Clone derives scratch copies. All methods are safe
+// for concurrent use.
+//
+// The zero value is NOT ready; use NewRegistry (or Clone).
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]entry{}}
+}
+
+// Default is the process-global registry the built-in solvers register
+// into at init time. Program-level consumers (the piggyback facade, the
+// cmd tools) resolve names against it; library code takes a *Registry
+// so callers can substitute their own.
+var Default = NewRegistry()
+
+// Register makes a solver available under name with its metadata.
+// It returns an error wrapping ErrDuplicateSolver when the name is
+// taken, and a plain error on an empty name or nil factory.
+func (r *Registry) Register(name string, f Factory, m Meta) error {
 	if name == "" || f == nil {
-		panic("solver: Register with empty name or nil factory")
+		return errors.New("solver: Register with empty name or nil factory")
 	}
-	regMu.Lock()
-	defer regMu.Unlock()
-	if _, dup := registry[name]; dup {
-		panic("solver: duplicate registration of " + name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("%w of %q", ErrDuplicateSolver, name)
 	}
-	registry[name] = f
+	r.entries[name] = entry{factory: f, meta: m}
+	return nil
+}
+
+// MustRegister is Register that panics on error — the init-time path,
+// where registry misuse is a programmer error caught at startup.
+func (r *Registry) MustRegister(name string, f Factory, m Meta) {
+	if err := r.Register(name, f, m); err != nil {
+		panic(err)
+	}
 }
 
 // Get returns the factory registered under name, or an error wrapping
 // ErrUnknownSolver that lists the known names.
-func Get(name string) (Factory, error) {
-	regMu.RLock()
-	f, ok := registry[name]
-	regMu.RUnlock()
+func (r *Registry) Get(name string) (Factory, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, name, Names())
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, name, r.Names())
 	}
-	return f, nil
+	return e.factory, nil
+}
+
+// Meta returns the metadata declared for name, or an error wrapping
+// ErrUnknownSolver.
+func (r *Registry) Meta(name string) (Meta, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return Meta{}, fmt.Errorf("%w %q (have %v)", ErrUnknownSolver, name, r.Names())
+	}
+	return e.meta, nil
 }
 
 // New is the one-step convenience: look name up and build the solver.
-func New(name string, opts Options) (Solver, error) {
-	f, err := Get(name)
+func (r *Registry) New(name string, opts Options) (Solver, error) {
+	f, err := r.Get(name)
 	if err != nil {
 		return nil, err
 	}
 	return f(opts), nil
 }
 
-// Names returns every registered solver name, sorted.
-func Names() []string {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for n := range registry {
+// Names returns every registered solver name, sorted — deterministic
+// regardless of registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Len returns the number of registered solvers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Clone returns an independent copy: registrations on the clone never
+// touch the original, so a program can derive a scratch registry from
+// Default, add experimental solvers, and hand it to one consumer.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Registry{entries: make(map[string]entry, len(r.entries))}
+	for n, e := range r.entries {
+		c.entries[n] = e
+	}
+	return c
 }

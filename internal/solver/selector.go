@@ -1,0 +1,241 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"piggyback/internal/graph"
+)
+
+// Auto is the registry name of the feature-based selector solver.
+const Auto = "auto"
+
+func init() {
+	Default.MustRegister(Auto, func(o Options) Solver {
+		inner := o
+		inner.Progress = nil
+		return withProgress(NewSelector(SelectorConfig{Options: inner}), o.Progress)
+	}, Meta{Regions: true, Cost: CostModerate})
+}
+
+// Features are the cheap structural measurements the selector rules
+// read: one O(n) degree scan, no solving, no cost model — the
+// "greedy-without-statistics beats cost-based planning" position
+// (DESIGN.md §10 gives the argument).
+type Features struct {
+	// Nodes and Edges are the graph dimensions.
+	Nodes, Edges int
+	// Density is edges per node (average out-degree).
+	Density float64
+	// DegreeSkew is the maximum total degree divided by the average
+	// total degree — the celebrity-concentration measure that separates
+	// Twitter-shaped graphs from flat ones.
+	DegreeSkew float64
+	// Region reports a localized re-solve; RegionEdges is its size.
+	Region      bool
+	RegionEdges int
+	// Degradation is the caller-supplied hint for region re-solves: how
+	// badly the region has drifted, as accumulated churn dirt over the
+	// region's own hybrid cost mass (the online daemon's drift-tracker
+	// ratio). NaN when no hint was provided.
+	Degradation float64
+}
+
+// ComputeFeatures measures p in one O(n) pass over the degree arrays.
+func ComputeFeatures(p Problem) Features {
+	g := p.Graph
+	n, m := g.NumNodes(), g.NumEdges()
+	f := Features{
+		Nodes:       n,
+		Edges:       m,
+		Region:      p.Region != nil,
+		RegionEdges: len(p.Region),
+		Degradation: math.NaN(),
+	}
+	if n > 0 {
+		f.Density = float64(m) / float64(n)
+		maxDeg := 0
+		for v := 0; v < n; v++ {
+			id := graph.NodeID(v)
+			if d := g.OutDegree(id) + g.InDegree(id); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if m > 0 {
+			f.DegreeSkew = float64(maxDeg) * float64(n) / float64(2*m)
+		}
+	}
+	return f
+}
+
+// Rule maps a feature predicate to a registry solver name. Rules are
+// evaluated in order; the first whose predicate holds AND whose solver
+// is actually registered wins, so a table may name optional solvers
+// (shard) and degrade gracefully when they are not linked in.
+type Rule struct {
+	// Name labels the rule for OnSelect observers and tests.
+	Name string
+	// When is the predicate over the problem's features.
+	When func(Features) bool
+	// Solver is the registry name to run when the rule fires.
+	Solver string
+	// Why is the one-line human rationale, kept next to the rule so the
+	// table stays transparent.
+	Why string
+}
+
+// Selector feature thresholds — fixed, transparent, and deliberately
+// coarse. They partition the space by cost structure, not by predicted
+// cost (see DESIGN.md §10).
+const (
+	// autoHugeEdges is where peak memory starts to matter more than
+	// schedule quality: hand off to the O(shard)-memory solver.
+	autoHugeEdges = 1 << 18
+	// autoSmallEdges is where the CHITCHAT quality reference is cheap
+	// enough to always afford.
+	autoSmallEdges = 1 << 15
+	// autoSkew is the max/avg total-degree ratio above which hub
+	// instances get celebrity-sized and CHITCHAT's oracle calls blow up.
+	autoSkew = 64
+	// autoDegraded is the region dirt/cost ratio above which the region
+	// has churned past its own cost mass and deserves the quality
+	// reference rather than another cheap patch.
+	autoDegraded = 1.0
+)
+
+// DefaultRules is the fixed selector table, in evaluation order.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name:   "degraded-region",
+			When:   func(f Features) bool { return f.Region && f.Degradation >= autoDegraded },
+			Solver: ChitChat,
+			Why:    "region churned past its own cost mass; pay for the induced-subgraph quality reference",
+		},
+		{
+			Name:   "region",
+			When:   func(f Features) bool { return f.Region },
+			Solver: Nosy,
+			Why:    "restricted NOSY seeds its dirty set with the region, so work stays proportional to it",
+		},
+		{
+			Name:   "huge",
+			When:   func(f Features) bool { return f.Edges >= autoHugeEdges },
+			Solver: "shard",
+			Why:    "million-edge scale: partition so peak memory is O(shard), not O(graph)",
+		},
+		{
+			Name:   "skewed",
+			When:   func(f Features) bool { return f.DegreeSkew >= autoSkew },
+			Solver: Nosy,
+			Why:    "celebrity-heavy degree distribution blows up oracle instances; NOSY gallops with dirty sets",
+		},
+		{
+			Name:   "small",
+			When:   func(f Features) bool { return f.Edges <= autoSmallEdges },
+			Solver: ChitChat,
+			Why:    "small enough that the O(ln n)-approximation quality reference is affordable",
+		},
+		{
+			Name:   "default",
+			When:   func(Features) bool { return true },
+			Solver: Nosy,
+			Why:    "large flat graphs: the parallel heuristic's per-round cost tracks what changed",
+		},
+	}
+}
+
+// SelectorConfig parameterizes the selector solver.
+type SelectorConfig struct {
+	// Registry resolves rule solvers; nil means Default.
+	Registry *Registry
+	// Rules is the decision table; nil means DefaultRules().
+	Rules []Rule
+	// Options configures the selected solver.
+	Options Options
+	// Hint, when non-nil, supplies Features.Degradation for a problem —
+	// the online daemon wires its drift tracker in here so badly
+	// degraded regions get the quality reference.
+	Hint func(Problem) float64
+	// OnSelect, when non-nil, observes every decision: the measured
+	// features and the rule that fired.
+	OnSelect func(Features, Rule)
+}
+
+// NewSelector returns the feature-based selector solver: per Problem it
+// measures cheap structural features and picks the solver named by the
+// first matching rule of a fixed transparent table.
+func NewSelector(cfg SelectorConfig) Solver { return &selectorSolver{cfg: cfg} }
+
+type selectorSolver struct {
+	cfg      SelectorConfig
+	progress func(ProgressEvent)
+}
+
+func (s *selectorSolver) Name() string { return Auto }
+
+// SupportsRegions implements RegionCapable: the region rules delegate
+// to region-capable solvers.
+func (s *selectorSolver) SupportsRegions() bool { return true }
+
+// ChainProgress implements ProgressChainer; events arrive labeled with
+// the selected solver's name.
+func (s *selectorSolver) ChainProgress(fn func(ProgressEvent)) {
+	s.progress = chainSinks(s.progress, fn)
+}
+
+// Select measures p and returns the winning rule plus its features
+// without solving — the decision, exposed for observability and tests.
+func (s *selectorSolver) Select(p Problem) (Features, Rule, error) {
+	reg := s.cfg.Registry
+	if reg == nil {
+		reg = Default
+	}
+	f := ComputeFeatures(p)
+	if s.cfg.Hint != nil && f.Region {
+		f.Degradation = s.cfg.Hint(p)
+	}
+	rules := s.cfg.Rules
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	for _, rule := range rules {
+		if rule.Solver == Auto || !rule.When(f) {
+			continue
+		}
+		if _, err := reg.Get(rule.Solver); err != nil {
+			continue // optional solver not linked in: fall through
+		}
+		return f, rule, nil
+	}
+	return f, Rule{}, fmt.Errorf("solver %s: no rule matched (and resolved) for %d nodes / %d edges",
+		Auto, f.Nodes, f.Edges)
+}
+
+func (s *selectorSolver) Solve(ctx context.Context, p Problem) (*Result, error) {
+	if err := checkProblem(p); err != nil {
+		return nil, err
+	}
+	f, rule, err := s.Select(p)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.OnSelect != nil {
+		s.cfg.OnSelect(f, rule)
+	}
+	reg := s.cfg.Registry
+	if reg == nil {
+		reg = Default
+	}
+	sv, err := reg.New(rule.Solver, s.cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("solver %s: rule %s: %w", Auto, rule.Name, err)
+	}
+	if s.progress != nil {
+		Observe(sv, s.progress)
+	}
+	// The result is returned as-is: Report.Solver names the algorithm
+	// that actually ran, which is the informative answer.
+	return sv.Solve(ctx, p)
+}

@@ -1,0 +1,217 @@
+package solver
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"piggyback/internal/baseline"
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/workload"
+)
+
+// star returns an n-spoke star: the celebrity shape with degree skew
+// max/avg = n(n+1)/2n ≈ n/2.
+func star(n int) (*graph.Graph, *workload.Rates) {
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{From: 0, To: graph.NodeID(i + 1)}
+	}
+	g := graph.FromEdges(n+1, edges)
+	return g, workload.LogDegree(g, 5)
+}
+
+func TestComputeFeatures(t *testing.T) {
+	g, r := star(200)
+	f := ComputeFeatures(Problem{Graph: g, Rates: r})
+	if f.Nodes != 201 || f.Edges != 200 {
+		t.Fatalf("dims = %d/%d, want 201/200", f.Nodes, f.Edges)
+	}
+	if got := f.Density; math.Abs(got-200.0/201) > 1e-12 {
+		t.Errorf("Density = %v", got)
+	}
+	// Hub degree 200, total degree mass 400, 201 nodes.
+	if got, want := f.DegreeSkew, 200.0*201/400; got != want {
+		t.Errorf("DegreeSkew = %v, want %v", got, want)
+	}
+	if f.Region || f.RegionEdges != 0 {
+		t.Errorf("full problem flagged as region: %+v", f)
+	}
+	if !math.IsNaN(f.Degradation) {
+		t.Errorf("Degradation = %v, want NaN without a hint", f.Degradation)
+	}
+}
+
+// The default table's decisions, pinned per feature regime.
+func TestSelectorDecisions(t *testing.T) {
+	sel := NewSelector(SelectorConfig{}).(*selectorSolver)
+
+	smallG, smallR := quickProblem(t, 150) // few hundred edges
+	skewG, skewR := star(300)              // skew ≈ 150 ≥ 64
+
+	for _, tc := range []struct {
+		name     string
+		p        Problem
+		wantRule string
+		want     string
+	}{
+		{"small-clustered", Problem{Graph: smallG, Rates: smallR}, "small", ChitChat},
+		{"celebrity-star", Problem{Graph: skewG, Rates: skewR}, "skewed", Nosy},
+	} {
+		f, rule, err := sel.Select(tc.p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rule.Name != tc.wantRule || rule.Solver != tc.want {
+			t.Errorf("%s: rule %q → %q, want %q → %q (features %+v)",
+				tc.name, rule.Name, rule.Solver, tc.wantRule, tc.want, f)
+		}
+	}
+
+	// The table itself routes million-edge instances to the sharded
+	// solver (exercised on synthetic features: building 2^18 edges in a
+	// unit test buys nothing).
+	for _, rule := range DefaultRules() {
+		if rule.Name != "huge" {
+			continue
+		}
+		if !rule.When(Features{Edges: autoHugeEdges}) || rule.Solver != "shard" {
+			t.Errorf("huge rule broken: %+v", rule)
+		}
+		if rule.When(Features{Edges: autoHugeEdges - 1}) {
+			t.Errorf("huge rule fires below its threshold")
+		}
+	}
+}
+
+// Rules naming unregistered solvers fall through to the next match —
+// the mechanism that lets the default table name "shard" without the
+// solver package importing it.
+func TestSelectorFallThrough(t *testing.T) {
+	g, r := quickProblem(t, 150)
+	reg := NewRegistry()
+	reg.MustRegister(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} }, Meta{Cost: CostCheap})
+	sel := NewSelector(SelectorConfig{
+		Registry: reg,
+		Rules: []Rule{
+			{Name: "first", When: func(Features) bool { return true }, Solver: "not-linked-in"},
+			{Name: "second", When: func(Features) bool { return true }, Solver: Hybrid},
+		},
+	}).(*selectorSolver)
+	_, rule, err := sel.Select(Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule.Name != "second" {
+		t.Fatalf("selected rule %q, want fall-through to second", rule.Name)
+	}
+
+	// Nothing resolvable: a descriptive error, not a panic.
+	sel = NewSelector(SelectorConfig{
+		Registry: reg,
+		Rules:    []Rule{{Name: "only", When: func(Features) bool { return true }, Solver: "not-linked-in"}},
+	}).(*selectorSolver)
+	if _, _, err := sel.Select(Problem{Graph: g, Rates: r}); err == nil {
+		t.Fatal("expected error when no rule resolves")
+	}
+}
+
+// Region problems route on the degradation hint: mild drift gets
+// restricted NOSY, heavy drift the CHITCHAT quality reference.
+func TestSelectorRegionHint(t *testing.T) {
+	g, r := quickProblem(t, 200)
+	base := baseline.Hybrid(g, r)
+	nodes := graph.KHop(g, []graph.NodeID{1, 7}, 2, 80)
+	region := graph.InducedEdgeIDs(g, nodes)
+	p := Problem{Graph: g, Rates: r, Base: base, Region: region}
+
+	for _, tc := range []struct {
+		hint     float64
+		wantRule string
+		want     string
+	}{
+		{0.2, "region", Nosy},
+		{2.5, "degraded-region", ChitChat},
+	} {
+		sel := NewSelector(SelectorConfig{
+			Hint: func(Problem) float64 { return tc.hint },
+		}).(*selectorSolver)
+		f, rule, err := sel.Select(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Degradation != tc.hint || !f.Region || f.RegionEdges != len(region) {
+			t.Errorf("hint=%v: features %+v", tc.hint, f)
+		}
+		if rule.Name != tc.wantRule || rule.Solver != tc.want {
+			t.Errorf("hint=%v: rule %q → %q, want %q → %q", tc.hint, rule.Name, rule.Solver, tc.wantRule, tc.want)
+		}
+
+		// And the Solve path actually runs the selected solver.
+		var observed Rule
+		sel.cfg.OnSelect = func(_ Features, r Rule) { observed = r }
+		res, err := sel.Solve(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("hint=%v: invalid schedule: %v", tc.hint, err)
+		}
+		if observed.Name != tc.wantRule {
+			t.Errorf("hint=%v: OnSelect saw rule %q", tc.hint, observed.Name)
+		}
+		if res.Report.Solver != tc.want {
+			t.Errorf("hint=%v: Report.Solver = %q, want %q", tc.hint, res.Report.Solver, tc.want)
+		}
+	}
+}
+
+// The registered "auto" entry solves end to end and matches the solver
+// it delegates to, byte for byte.
+func TestAutoMatchesSelectedSolver(t *testing.T) {
+	g, r := quickProblem(t, 150) // small regime → chitchat
+	sv, err := Default.New(Auto, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	Observe(sv, func(ProgressEvent) { events++ })
+	res, err := sv.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Solver != ChitChat {
+		t.Fatalf("auto delegated to %q on the small regime, want %q", res.Report.Solver, ChitChat)
+	}
+	if events == 0 {
+		t.Error("no delegate progress reached the auto solver's sink")
+	}
+	direct, err := Default.New(ChitChat, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Solve(context.Background(), Problem{Graph: g, Rates: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scheduleBytes(t, res.Schedule), scheduleBytes(t, want.Schedule)) {
+		t.Fatal("auto schedule differs from the delegate's")
+	}
+}
+
+// Graphgen sanity: the generators this package's tests lean on stay in
+// the feature regimes the table assumes (guards against silent
+// generator drift flipping selector decisions).
+func TestSelectorRegimeAssumptions(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(150, 1))
+	if g.NumEdges() > autoSmallEdges {
+		t.Fatalf("quick Flickr-like graph outgrew the small regime: %d edges", g.NumEdges())
+	}
+	sg, _ := star(300)
+	f := ComputeFeatures(Problem{Graph: sg})
+	if f.DegreeSkew < autoSkew {
+		t.Fatalf("star skew %v below threshold %v", f.DegreeSkew, autoSkew)
+	}
+}

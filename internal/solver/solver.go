@@ -29,8 +29,16 @@
 //     errors (densest.ErrInstanceTooLarge, graph.ErrEdgeOutOfRange)
 //     instead of crashing the serving process.
 //
-// Solvers are looked up by name in a registry (Register / Get / Names),
-// so every tool selects algorithms through one code path.
+// Solvers are looked up by name in a Registry — a first-class value
+// with per-entry Meta (region capability, cost class); the package-wide
+// Default instance is what the cmd tools and the piggyback facade use,
+// and Clone() derives independent registries for tests and embedders.
+// Cross-cutting concerns (metrics, logging, panic recovery, determin-
+// istic work budgets) wrap any Solver through Middleware and Chain.
+// Two registered solvers are themselves built from the registry:
+// "portfolio" races member solvers and keeps the cheapest schedule,
+// and "auto" picks one solver per Problem from cheap structural
+// features (DESIGN.md §10).
 package solver
 
 import (

@@ -37,34 +37,36 @@ func scheduleBytes(t *testing.T, s *core.Schedule) []byte {
 }
 
 func TestRegistryHasBuiltins(t *testing.T) {
-	names := Names()
-	want := []string{ChitChat, Hybrid, Nosy, NosyMapReduce, PullAll, PushAll}
+	names := Default.Names()
+	want := []string{Auto, ChitChat, Hybrid, Nosy, NosyMapReduce, Portfolio, PullAll, PushAll}
 	if len(names) < len(want) {
 		t.Fatalf("Names() = %v, want at least %v", names, want)
 	}
 	for _, w := range want {
-		if _, err := Get(w); err != nil {
+		if _, err := Default.Get(w); err != nil {
 			t.Errorf("Get(%q): %v", w, err)
 		}
 	}
-	if _, err := Get("no-such-algorithm"); !errors.Is(err, ErrUnknownSolver) {
+	if _, err := Default.Get("no-such-algorithm"); !errors.Is(err, ErrUnknownSolver) {
 		t.Errorf("Get(unknown) = %v, want ErrUnknownSolver", err)
 	}
 }
 
 func TestRegisterMisusePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} }, Meta{})
 	for _, tc := range []struct {
 		name string
 		fn   func()
 	}{
-		{"empty name", func() { Register("", func(Options) Solver { return baselineSolver{Hybrid} }) }},
-		{"nil factory", func() { Register("x", nil) }},
-		{"duplicate", func() { Register(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} }) }},
+		{"empty name", func() { reg.MustRegister("", func(Options) Solver { return baselineSolver{Hybrid} }, Meta{}) }},
+		{"nil factory", func() { reg.MustRegister("x", nil, Meta{}) }},
+		{"duplicate", func() { reg.MustRegister(Hybrid, func(Options) Solver { return baselineSolver{Hybrid} }, Meta{}) }},
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("Register %s: expected panic", tc.name)
+					t.Errorf("MustRegister %s: expected panic", tc.name)
 				}
 			}()
 			tc.fn()
@@ -91,7 +93,7 @@ func TestSolversMatchPreRedesign(t *testing.T) {
 	}
 	for name, old := range legacy {
 		t.Run(name, func(t *testing.T) {
-			sv, err := New(name, Options{})
+			sv, err := Default.New(name, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -453,7 +455,7 @@ func TestSupportsRegions(t *testing.T) {
 		PushAll:       false,
 		PullAll:       false,
 	} {
-		sv, err := New(name, Options{})
+		sv, err := Default.New(name, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

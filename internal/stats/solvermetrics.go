@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SolveRecord is one finished solve as the metrics middleware saw it.
+type SolveRecord struct {
+	// Wall is the solve's wall-clock duration.
+	Wall time.Duration
+	// Iterations is the solver-reported iteration count (PARALLELNOSY
+	// rounds, CHITCHAT commits, shard count).
+	Iterations int
+	// Events is the number of progress events observed during the solve
+	// — the oracle-call / commit granularity measure for solvers that
+	// stream progress; 0 for those that do not.
+	Events int64
+	// Cost is the finalized schedule cost (NaN for region re-solves,
+	// which are priced by their callers).
+	Cost float64
+	// Canceled marks a solve cut short by its context (the schedule is
+	// still the valid best-so-far result).
+	Canceled bool
+	// Failed marks a solve that produced no schedule at all.
+	Failed bool
+}
+
+// SolverStats aggregates every recorded solve of one solver.
+type SolverStats struct {
+	Solves     int
+	Failures   int
+	Canceled   int
+	Iterations int64
+	Events     int64
+	Wall       time.Duration
+	// LastCost is the most recent non-NaN finalized cost.
+	LastCost float64
+}
+
+// SolverMetrics is the per-solver sink the WithMetrics middleware
+// records into. The zero value is ready; all methods are safe for
+// concurrent use (portfolio racers record concurrently).
+type SolverMetrics struct {
+	mu sync.Mutex
+	m  map[string]*SolverStats
+}
+
+// Record books one finished solve under the solver's name.
+func (s *SolverMetrics) Record(solver string, rec SolveRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string]*SolverStats{}
+	}
+	st := s.m[solver]
+	if st == nil {
+		st = &SolverStats{LastCost: math.NaN()}
+		s.m[solver] = st
+	}
+	st.Solves++
+	if rec.Failed {
+		st.Failures++
+	}
+	if rec.Canceled {
+		st.Canceled++
+	}
+	st.Iterations += int64(rec.Iterations)
+	st.Events += rec.Events
+	st.Wall += rec.Wall
+	if !math.IsNaN(rec.Cost) {
+		st.LastCost = rec.Cost
+	}
+}
+
+// Snapshot returns a copy of the aggregates keyed by solver name.
+func (s *SolverMetrics) Snapshot() map[string]SolverStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]SolverStats, len(s.m))
+	for n, st := range s.m {
+		out[n] = *st
+	}
+	return out
+}
+
+// Names returns the recorded solver names, sorted.
+func (s *SolverMetrics) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for n := range s.m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table renders the aggregates as an aligned text table, one row per
+// solver (sorted by name) — what `cmd/experiments -middleware metrics`
+// prints.
+func (s *SolverMetrics) Table() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	rows := [][]string{{"solver", "solves", "iters", "events", "wall", "last cost", "canceled", "failed"}}
+	for _, n := range names {
+		st := snap[n]
+		cost := "-"
+		if !math.IsNaN(st.LastCost) {
+			cost = fmt.Sprintf("%.1f", st.LastCost)
+		}
+		rows = append(rows, []string{
+			n,
+			fmt.Sprintf("%d", st.Solves),
+			fmt.Sprintf("%d", st.Iterations),
+			fmt.Sprintf("%d", st.Events),
+			st.Wall.Round(time.Millisecond).String(),
+			cost,
+			fmt.Sprintf("%d", st.Canceled),
+			fmt.Sprintf("%d", st.Failures),
+		})
+	}
+	width := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range width {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

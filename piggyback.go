@@ -56,6 +56,7 @@ import (
 	"piggyback/internal/sampling"
 	"piggyback/internal/shard"
 	"piggyback/internal/solver"
+	"piggyback/internal/stats"
 	"piggyback/internal/store"
 	"piggyback/internal/workload"
 )
@@ -91,6 +92,36 @@ type Options = solver.Options
 // SolverFactory builds a configured Solver from Options.
 type SolverFactory = solver.Factory
 
+// SolverRegistry is a first-class mapping from solver names to factories
+// plus per-entry metadata. The process-global instance backing
+// RegisterSolver / NewSolver is DefaultSolverRegistry(); isolated stacks
+// (tests, embedded portfolios) build their own with NewSolverRegistry or
+// fork the default with Clone.
+type SolverRegistry = solver.Registry
+
+// SolverMeta describes a registered solver: region capability and a
+// coarse cost class.
+type SolverMeta = solver.Meta
+
+// SolverCostClass is the coarse relative-expense label carried in
+// SolverMeta.
+type SolverCostClass = solver.CostClass
+
+// Solver cost classes.
+const (
+	SolverCostUnknown   = solver.CostUnknown
+	SolverCostCheap     = solver.CostCheap
+	SolverCostModerate  = solver.CostModerate
+	SolverCostExpensive = solver.CostExpensive
+)
+
+// DefaultSolverRegistry returns the process-global registry all built-in
+// solvers register into.
+func DefaultSolverRegistry() *SolverRegistry { return solver.Default }
+
+// NewSolverRegistry returns an empty, independent solver registry.
+func NewSolverRegistry() *SolverRegistry { return solver.NewRegistry() }
+
 // Typed errors surfaced by Solve (and the registry).
 var (
 	// ErrInstanceTooLarge: the exact densest-subgraph oracle was asked
@@ -100,6 +131,8 @@ var (
 	ErrEdgeOutOfRange = graph.ErrEdgeOutOfRange
 	// ErrUnknownSolver: no solver is registered under the given name.
 	ErrUnknownSolver = solver.ErrUnknownSolver
+	// ErrDuplicateSolver: Register was called with a name already taken.
+	ErrDuplicateSolver = solver.ErrDuplicateSolver
 	// ErrRegionUnsupported: the chosen solver cannot re-solve regions.
 	ErrRegionUnsupported = solver.ErrRegionUnsupported
 	// ErrRegionNotInduced: a region re-solve needs the region to be the
@@ -107,20 +140,90 @@ var (
 	ErrRegionNotInduced = solver.ErrRegionNotInduced
 )
 
-// RegisterSolver makes a solver available under name (panics on
-// duplicates — registration is an init-time affair). The built-ins are
-// "chitchat", "nosy", "nosymr", "shard", "hybrid", "pushall", "pullall".
-func RegisterSolver(name string, f SolverFactory) { solver.Register(name, f) }
+// RegisterSolver makes a solver available under name in the default
+// registry (panics on duplicates — registration is an init-time
+// affair; use DefaultSolverRegistry().Register for the error-returning
+// form). The built-ins are "chitchat", "nosy", "nosymr", "shard",
+// "hybrid", "pushall", "pullall", plus the adaptive meta-solvers
+// "portfolio" (races several members, returns the cheapest valid
+// schedule) and "auto" (feature-based per-problem selection).
+func RegisterSolver(name string, f SolverFactory) {
+	solver.Default.MustRegister(name, f, SolverMeta{})
+}
 
-// GetSolver returns the factory registered under name, or an error
-// wrapping ErrUnknownSolver.
-func GetSolver(name string) (SolverFactory, error) { return solver.Get(name) }
+// GetSolver returns the factory registered under name in the default
+// registry, or an error wrapping ErrUnknownSolver.
+func GetSolver(name string) (SolverFactory, error) { return solver.Default.Get(name) }
 
-// NewSolver looks name up in the registry and builds the solver.
-func NewSolver(name string, opts Options) (Solver, error) { return solver.New(name, opts) }
+// NewSolver looks name up in the default registry and builds the solver.
+func NewSolver(name string, opts Options) (Solver, error) { return solver.Default.New(name, opts) }
 
-// Solvers returns every registered solver name, sorted.
-func Solvers() []string { return solver.Names() }
+// Solvers returns every solver name in the default registry, sorted.
+func Solvers() []string { return solver.Default.Names() }
+
+// SolverMiddleware wraps a Solver with a cross-cutting concern (metrics,
+// logging, panic conversion, work budgets) while preserving the Solver
+// contract.
+type SolverMiddleware = solver.Middleware
+
+// ChainSolver applies middlewares to s; the first middleware becomes the
+// outermost layer.
+func ChainSolver(s Solver, mws ...SolverMiddleware) Solver { return solver.Chain(s, mws...) }
+
+// SolverMetrics is a concurrency-safe per-solver metrics sink for
+// WithSolverMetrics; its Table method renders an aligned summary.
+type SolverMetrics = stats.SolverMetrics
+
+// SolverStats is one solver's accumulated counters in a SolverMetrics.
+type SolverStats = stats.SolverStats
+
+// WithSolverMetrics records per-solve counters and timings into sink.
+func WithSolverMetrics(sink *SolverMetrics) SolverMiddleware { return solver.WithMetrics(sink) }
+
+// WithSolverLogging logs solve start/finish lines through logf.
+func WithSolverLogging(logf func(format string, args ...any)) SolverMiddleware {
+	return solver.WithLogging(logf)
+}
+
+// WithSolverRecover converts solver panics into errors.
+func WithSolverRecover() SolverMiddleware { return solver.WithRecover() }
+
+// WithSolverBudget deterministically truncates a solve after the given
+// number of progress events (iterations), returning the valid anytime
+// schedule with Report.Canceled set and a nil error.
+func WithSolverBudget(units int) SolverMiddleware { return solver.WithBudget(units) }
+
+// PortfolioConfig tunes the portfolio solver: which registry members to
+// race, the concurrency cap, and the per-member iteration budget.
+type PortfolioConfig = solver.PortfolioConfig
+
+// NewPortfolioSolver returns the portfolio solver under its full typed
+// config (registry name "portfolio"): it races the member solvers on
+// the same Problem under one context and returns the cheapest valid
+// schedule, with a deterministic cost-then-name tie-break.
+func NewPortfolioSolver(cfg PortfolioConfig) Solver { return solver.NewPortfolio(cfg) }
+
+// SolverFeatures are the cheap structural measurements the "auto"
+// selector reads (node/edge counts, density, degree skew, region size,
+// drift degradation).
+type SolverFeatures = solver.Features
+
+// SolverRule maps a feature predicate to a solver name in the selector's
+// decision table.
+type SolverRule = solver.Rule
+
+// DefaultSolverRules returns the fixed decision table the "auto" solver
+// evaluates in order.
+func DefaultSolverRules() []SolverRule { return solver.DefaultRules() }
+
+// SelectorConfig tunes the feature-based selector solver.
+type SelectorConfig = solver.SelectorConfig
+
+// NewAutoSolver returns the feature-based selector solver under its full
+// typed config (registry name "auto"): per Problem it measures cheap
+// structural features and delegates to the solver named by the first
+// matching rule.
+func NewAutoSolver(cfg SelectorConfig) Solver { return solver.NewSelector(cfg) }
 
 // MustSolve runs the named registered solver to completion and panics
 // on any error — the one-liner for examples, tests, and scripts.
@@ -433,6 +536,7 @@ type OnlineStats = online.Stats
 const (
 	OnlineSolverChitChat = online.SolverChitChat
 	OnlineSolverNosy     = online.SolverNosy
+	OnlineSolverAuto     = online.SolverAuto
 )
 
 // NewOnlineDaemon starts an online rescheduling daemon from an
