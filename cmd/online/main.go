@@ -46,14 +46,18 @@ func main() {
 	rmFrac := flag.Float64("removes", 0, "fraction of ops that remove edges (0 = default)")
 	serve := flag.Bool("serve", false, "run a live view-store cluster; accepted re-solves swap its schedule")
 	servers := flag.Int("servers", 8, "view-store servers (with -serve)")
+	fallback := flag.String("fallback", "", "circuit-breaker fallback solver; quarantines a failing -solver")
+	breakerN := flag.Int("breaker", 0, "consecutive solver failures before quarantine (0 = default, with -fallback)")
 	flag.Parse()
 
 	cfg := online.Config{
-		K:              *k,
-		DriftThreshold: *threshold,
-		CheckEvery:     *every,
-		MaxRegionNodes: *maxRegion,
-		ResolveTimeout: *budget,
+		K:                *k,
+		DriftThreshold:   *threshold,
+		CheckEvery:       *every,
+		MaxRegionNodes:   *maxRegion,
+		ResolveTimeout:   *budget,
+		Fallback:         *fallback,
+		BreakerThreshold: *breakerN,
 	}
 	if *solverName == solver.Auto {
 		// The built-in selector path: the daemon wires its drift tracker
@@ -146,6 +150,11 @@ func main() {
 	fmt.Printf("hybrid baseline on final graph: %.1f\n", baseline.HybridCost(liveG, d.Rates()))
 	fmt.Printf("localized re-solves: %d accepted, %d reverted, %d rescues\n",
 		st.Resolves, st.Reverted, st.Rescues)
+	if st.Breaker != nil {
+		b := st.Breaker
+		fmt.Printf("breaker: %d failures, %d trips, %d fallback solves, %d probes, %d closes (open: %v)\n",
+			b.Failures, b.Trips, b.FallbackSolves, b.Probes, b.Closes, b.Open)
+	}
 	fmt.Printf("region edges re-solved: %d (%.1f%% of final live edges)\n",
 		st.RegionEdges, 100*float64(st.RegionEdges)/float64(liveG.NumEdges()))
 	if *serve {

@@ -2,7 +2,9 @@ package netstore
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -19,25 +21,157 @@ import (
 // fail fast instead of hanging when a data-store server dies mid-request.
 const RequestTimeout = 5 * time.Second
 
+// Sentinel errors for the failure-handling paths.
+var (
+	// ErrServerDown wraps every operation error caused by a server the
+	// client currently considers unreachable (retries exhausted).
+	ErrServerDown = errors.New("netstore: server down")
+	// ErrHandoffFull means a failed update could not be parked because
+	// the per-server hinted-handoff buffer hit its cap — the one way a
+	// server outage becomes a client-visible update failure.
+	ErrHandoffFull = errors.New("netstore: hinted-handoff buffer full")
+)
+
+// DialConfig tunes the client's failure handling. The zero value uses
+// every default; Dial/DialWithSeed use the zero value.
+type DialConfig struct {
+	// Seed is both the partition seed (must match the seed used to
+	// shard data across the servers) and the root of the deterministic
+	// retry jitter: each server's backoff jitter stream is seeded by
+	// Seed and the server index, so two runs with the same seed and the
+	// same fault schedule produce byte-identical retry schedules.
+	Seed int64
+	// Timeout bounds one round-trip; 0 means RequestTimeout.
+	Timeout time.Duration
+	// Retries is how many times a failed round-trip is retried (with
+	// backoff and a fresh connection) before the server is marked down;
+	// 0 means 2, negative means none.
+	Retries int
+	// BackoffBase/BackoffMax shape the capped exponential backoff
+	// between retries: attempt k waits min(BackoffBase·2^(k-1),
+	// BackoffMax) plus deterministic jitter in [0, wait/2). Defaults
+	// 5ms / 250ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ProbeEvery is how many operations that would touch a down server
+	// pass between redial probes (the probe is attempt one of the next
+	// operation); 0 means 8. Lower values recover faster and dial more.
+	ProbeEvery int
+	// HandoffCap bounds the per-server hinted-handoff buffer (parked
+	// updates awaiting replay); 0 means 4096, negative disables
+	// handoff entirely (a down server then fails updates).
+	HandoffCap int
+	// OnRetry, when non-nil, observes every backoff sleep: the server
+	// index, the attempt number (1-based), and the slept duration. The
+	// per-server call sequence is deterministic for a fixed seed and
+	// fault schedule. Called from request goroutines.
+	OnRetry func(server, attempt int, delay time.Duration)
+	// OnStateChange, when non-nil, observes server health transitions.
+	// Called from request goroutines.
+	OnStateChange func(server int, down bool)
+
+	// sleep is the test seam for backoff waits; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = RequestTimeout
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 5 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 250 * time.Millisecond
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = 8
+	}
+	if cfg.HandoffCap == 0 {
+		cfg.HandoffCap = 4096
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
+	return cfg
+}
+
+// ClientStats counts the client's failure handling so far.
+type ClientStats struct {
+	// Retries counts backoff-and-retry attempts; Redials counts fresh
+	// connections dialed (including probe dials).
+	Retries, Redials int
+	// Parked / Replayed / HandoffDrops count hinted-handoff traffic:
+	// updates parked while a server was down, parked updates replayed
+	// after recovery, and parks refused because the buffer was full.
+	Parked, Replayed, HandoffDrops int
+	// DegradedQueries counts queries that fell back to pulling
+	// producers' own views because a pull-set server was down.
+	DegradedQueries int
+	// DownEvents / UpEvents count server health transitions.
+	DownEvents, UpEvents int
+	// ErrorFrames counts typed error frames received from servers.
+	ErrorFrames int
+}
+
 // Client is a schedule-driven application-logic client over TCP
 // (Algorithm 3). It keeps one connection per data-store server and
-// fans requests out in parallel, one batched message per server, waiting
-// for all replies. A Client is not safe for concurrent use; open one per
-// goroutine (connections are cheap, and this mirrors the paper's
-// independent client processes).
+// fans requests out in parallel, one batched message per server,
+// waiting for all replies.
+//
+// Failure handling (none of which the paper's prototype has): a failed
+// round-trip is retried with capped exponential backoff on a FRESH
+// connection — a timed-out connection is protocol-desynced and is never
+// reused — and a server that exhausts its retries is marked down.
+// While a server is down, updates park their frames in a bounded
+// hinted-handoff buffer replayed on recovery, and queries degrade to
+// pulling the producers' own views from healthy servers (the paper's
+// pull-all floor: correct, costlier). Every ProbeEvery-th operation
+// that would touch a down server probes it with a redial.
+//
+// A Client is safe for the same concurrent use as before: one request
+// at a time (requests fan out internally); open one client per
+// goroutine.
 type Client struct {
 	sched  *core.Schedule
 	assign partition.Assignment
-	conns  []*conn
+	cfg    DialConfig
+	conns  []*sconn
 
 	pushBatch [][]batch
 	pullBatch [][]batch
+
+	// fallback memoizes the pull-all batches (own views of u and its
+	// in-neighbors) built on first degraded query per user.
+	fallbackMu sync.Mutex
+	fallback   map[graph.NodeID][]batch
+
+	statsMu sync.Mutex
+	stats   ClientStats
 }
 
-type conn struct {
-	c  net.Conn
-	br *bufio.Reader
-	bw *bufio.Writer
+// sconn is the client's per-server endpoint: the live connection (nil
+// while disconnected), health state, deterministic jitter stream, and
+// the hinted-handoff buffer. All fields are guarded by mu; a request
+// holds the lock for the full call so per-server operations serialize.
+type sconn struct {
+	mu   sync.Mutex
+	addr string
+	c    net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	down      bool
+	downOps   int // ops refused since the last probe
+	lastEpoch uint32
+	rng       *rand.Rand // jitter; seeded from cfg.Seed and the index
+	handoff   [][]byte   // parked update payloads awaiting replay
 }
 
 type batch struct {
@@ -49,31 +183,40 @@ type batch struct {
 // batches from the schedule; addrs[i] hosts the views that the hash
 // assignment maps to server i.
 func Dial(s *core.Schedule, addrs []string) (*Client, error) {
-	return DialWithSeed(s, addrs, 0)
+	return DialConfigured(s, addrs, DialConfig{})
 }
 
 // DialWithSeed is Dial with an explicit partition seed (must match the
 // seed used to shard data across the servers).
 func DialWithSeed(s *core.Schedule, addrs []string, seed int64) (*Client, error) {
+	return DialConfigured(s, addrs, DialConfig{Seed: seed})
+}
+
+// DialConfigured is Dial with explicit failure-handling configuration.
+// Every server must be reachable at dial time; failure handling covers
+// servers that die later.
+func DialConfigured(s *core.Schedule, addrs []string, cfg DialConfig) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("netstore: no servers")
 	}
+	cfg = cfg.withDefaults()
 	g := s.Graph()
 	cl := &Client{
-		sched:  s,
-		assign: partition.Hash(g.NumNodes(), len(addrs), seed),
+		sched:    s,
+		assign:   partition.Hash(g.NumNodes(), len(addrs), cfg.Seed),
+		cfg:      cfg,
+		fallback: make(map[graph.NodeID][]batch),
 	}
-	for _, addr := range addrs {
-		c, err := net.Dial("tcp", addr)
-		if err != nil {
+	for i, addr := range addrs {
+		sc := &sconn{
+			addr: addr,
+			rng:  rand.New(rand.NewSource(cfg.Seed*7919 + int64(i))),
+		}
+		if err := cl.redial(sc); err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("netstore: dialing %s: %w", addr, err)
 		}
-		cl.conns = append(cl.conns, &conn{
-			c:  c,
-			br: bufio.NewReader(c),
-			bw: bufio.NewWriter(c),
-		})
+		cl.conns = append(cl.conns, sc)
 	}
 	cl.pushBatch = make([][]batch, g.NumNodes())
 	cl.pullBatch = make([][]batch, g.NumNodes())
@@ -99,32 +242,273 @@ func (cl *Client) group(views []graph.NodeID) []batch {
 	return out
 }
 
-// Close tears down all connections.
+// Close tears down all connections. Parked handoff entries are
+// discarded.
 func (cl *Client) Close() {
-	for _, c := range cl.conns {
-		if c != nil {
-			c.c.Close()
-		}
+	for _, s := range cl.conns {
+		s.mu.Lock()
+		s.closeConn()
+		s.mu.Unlock()
 	}
 }
 
-// roundTrip sends one frame on one connection and reads the reply. The
-// deadline turns a dead server into a prompt error instead of a hang.
-func (c *conn) roundTrip(body []byte) ([]byte, error) {
-	if err := c.c.SetDeadline(time.Now().Add(RequestTimeout)); err != nil {
+// Stats returns a copy of the failure-handling counters.
+func (cl *Client) Stats() ClientStats {
+	cl.statsMu.Lock()
+	defer cl.statsMu.Unlock()
+	return cl.stats
+}
+
+func (cl *Client) note(f func(*ClientStats)) {
+	cl.statsMu.Lock()
+	f(&cl.stats)
+	cl.statsMu.Unlock()
+}
+
+// ServerDown reports whether the client currently considers server i
+// unreachable.
+func (cl *Client) ServerDown(i int) bool {
+	s := cl.conns[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// ServerEpoch returns the plan epoch the last response from server i
+// carried — the client-side observation point for a rolling plan swap.
+func (cl *Client) ServerEpoch(i int) uint32 {
+	s := cl.conns[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEpoch
+}
+
+// redial replaces s.c with a fresh connection. Caller holds s.mu (or
+// owns s exclusively, as during dial).
+func (cl *Client) redial(s *sconn) error {
+	s.closeConn()
+	cl.note(func(st *ClientStats) { st.Redials++ })
+	c, err := net.DialTimeout("tcp", s.addr, cl.cfg.Timeout)
+	if err != nil {
+		return err
+	}
+	s.c = c
+	s.br = bufio.NewReader(c)
+	s.bw = bufio.NewWriterSize(c, 16<<10)
+	return nil
+}
+
+// closeConn drops the current connection, if any. Caller holds s.mu.
+func (s *sconn) closeConn() {
+	if s.c != nil {
+		s.c.Close()
+		s.c = nil
+		s.br, s.bw = nil, nil
+	}
+}
+
+// roundTripOnce sends one frame and reads the reply on the current
+// connection. Caller holds s.mu and guarantees s.c != nil. Any error —
+// timeout, partial read, reset — means the length-prefixed stream can
+// no longer be trusted; the CALLER must discard the connection.
+func (cl *Client) roundTripOnce(s *sconn, payload []byte) ([]byte, error) {
+	if err := s.c.SetDeadline(time.Now().Add(cl.cfg.Timeout)); err != nil {
 		return nil, err
 	}
-	if err := writeFrame(c.bw, body); err != nil {
+	if err := writeFrame(s.bw, 0, payload); err != nil {
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := s.bw.Flush(); err != nil {
 		return nil, err
 	}
-	return readFrame(c.br, nil)
+	reply, epoch, err := readFrame(s.br, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.lastEpoch = epoch
+	return decodeResponse(reply)
+}
+
+// backoff returns the deterministic jittered wait before retry attempt
+// k (1-based). Caller holds s.mu, so the per-server jitter stream is
+// consumed in a deterministic order.
+func (cl *Client) backoff(s *sconn, attempt int) time.Duration {
+	d := cl.cfg.BackoffBase << uint(attempt-1)
+	if d > cl.cfg.BackoffMax || d <= 0 {
+		d = cl.cfg.BackoffMax
+	}
+	return d + time.Duration(s.rng.Int63n(int64(d/2)+1))
+}
+
+// call performs one request against server si with the full failure
+// discipline: retry with backoff on fresh connections, down-marking,
+// probe-gated recovery, and handoff replay after a probe succeeds.
+func (cl *Client) call(si int, payload []byte) ([]byte, error) {
+	s := cl.conns[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	attempts := cl.cfg.Retries + 1
+	if s.down {
+		// While down, most operations fail fast; every ProbeEvery-th
+		// one becomes a single-attempt probe.
+		s.downOps++
+		if s.downOps%cl.cfg.ProbeEvery != 0 {
+			return nil, fmt.Errorf("netstore: server %d (%s): %w", si, s.addr, ErrServerDown)
+		}
+		attempts = 1
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := cl.backoff(s, attempt)
+			cl.note(func(st *ClientStats) { st.Retries++ })
+			if cl.cfg.OnRetry != nil {
+				cl.cfg.OnRetry(si, attempt, d)
+			}
+			cl.cfg.sleep(d)
+		}
+		if s.c == nil {
+			if err := cl.redial(s); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		reply, err := cl.roundTripOnce(s, payload)
+		if err == nil {
+			if s.down {
+				cl.markUp(si, s)
+			}
+			return reply, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			// A typed error frame is a complete, well-framed reply: the
+			// stream is intact and the rejection is deterministic, so
+			// neither redial nor retry applies.
+			cl.note(func(st *ClientStats) { st.ErrorFrames++ })
+			if s.down {
+				cl.markUp(si, s)
+			}
+			return nil, err
+		}
+		lastErr = err
+		// Transport-level failure: the stream may be desynced mid-frame,
+		// so the connection is never reused.
+		s.closeConn()
+	}
+	if !s.down {
+		s.down = true
+		s.downOps = 0
+		cl.note(func(st *ClientStats) { st.DownEvents++ })
+		if cl.cfg.OnStateChange != nil {
+			cl.cfg.OnStateChange(si, true)
+		}
+	}
+	return nil, fmt.Errorf("netstore: server %d (%s): %w: %v", si, s.addr, ErrServerDown, lastErr)
+}
+
+// markUp transitions a down server to healthy and replays its hinted
+// handoff. Caller holds s.mu. If replay fails partway, the remainder
+// stays parked and the server goes back down.
+func (cl *Client) markUp(si int, s *sconn) {
+	s.down = false
+	s.downOps = 0
+	cl.note(func(st *ClientStats) { st.UpEvents++ })
+	if cl.cfg.OnStateChange != nil {
+		cl.cfg.OnStateChange(si, false)
+	}
+	for len(s.handoff) > 0 {
+		payload := s.handoff[0]
+		if s.c == nil {
+			if err := cl.redial(s); err != nil {
+				cl.markDownLocked(si, s)
+				return
+			}
+		}
+		if _, err := cl.roundTripOnce(s, payload); err != nil {
+			var se *ServerError
+			if errors.As(err, &se) {
+				// Deterministic rejection: replaying it again can never
+				// succeed, so drop it rather than wedge the buffer.
+				cl.note(func(st *ClientStats) { st.ErrorFrames++; st.HandoffDrops++ })
+				s.handoff = s.handoff[1:]
+				continue
+			}
+			s.closeConn()
+			cl.markDownLocked(si, s)
+			return
+		}
+		s.handoff = s.handoff[1:]
+		cl.note(func(st *ClientStats) { st.Replayed++ })
+	}
+	s.handoff = nil
+}
+
+// markDownLocked records a down transition. Caller holds s.mu.
+func (cl *Client) markDownLocked(si int, s *sconn) {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.downOps = 0
+	cl.note(func(st *ClientStats) { st.DownEvents++ })
+	if cl.cfg.OnStateChange != nil {
+		cl.cfg.OnStateChange(si, true)
+	}
+}
+
+// park stores a failed update payload in server si's hinted-handoff
+// buffer for replay on recovery.
+func (cl *Client) park(si int, payload []byte) error {
+	if cl.cfg.HandoffCap < 0 {
+		return fmt.Errorf("netstore: server %d: %w (handoff disabled)", si, ErrServerDown)
+	}
+	s := cl.conns[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.handoff) >= cl.cfg.HandoffCap {
+		cl.note(func(st *ClientStats) { st.HandoffDrops++ })
+		return fmt.Errorf("netstore: server %d: %w (%d parked)", si, ErrHandoffFull, len(s.handoff))
+	}
+	s.handoff = append(s.handoff, payload)
+	cl.note(func(st *ClientStats) { st.Parked++ })
+	return nil
+}
+
+// Recover probes every down server immediately (ignoring the
+// ProbeEvery spacing) and replays its hinted handoff on success. It
+// returns the number of servers still down afterwards. Useful after an
+// orchestrated restart; normal operation recovers on its own through
+// probe-gated calls.
+func (cl *Client) Recover() int {
+	stillDown := 0
+	for si, s := range cl.conns {
+		s.mu.Lock()
+		if s.down {
+			if err := cl.redial(s); err != nil {
+				stillDown++
+				s.mu.Unlock()
+				continue
+			}
+			cl.markUp(si, s)
+			if s.down {
+				stillDown++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return stillDown
 }
 
 // Update shares an event by u: one update message per server holding a
-// view in u's push set (plus u's own view), all acked.
+// view in u's push set (plus u's own view), all acked. When a server is
+// down, its share of the update is parked in the hinted-handoff buffer
+// and replayed on recovery — the update succeeds from the caller's
+// point of view and converges once the server returns. Only a full
+// handoff buffer (or a non-transport server rejection) surfaces as an
+// error.
 func (cl *Client) Update(u graph.NodeID, ev store.Event) error {
 	batches := cl.pushBatch[u]
 	var wg sync.WaitGroup
@@ -133,7 +517,12 @@ func (cl *Client) Update(u graph.NodeID, ev store.Event) error {
 		wg.Add(1)
 		go func(i int, b batch) {
 			defer wg.Done()
-			_, errs[i] = cl.conns[b.server].roundTrip(encodeUpdate(ev, b.views))
+			payload := encodeUpdate(ev, b.views)
+			_, err := cl.call(b.server, payload)
+			if err != nil && errors.Is(err, ErrServerDown) {
+				err = cl.park(b.server, payload)
+			}
+			errs[i] = err
 		}(i, b)
 	}
 	wg.Wait()
@@ -147,6 +536,16 @@ func (cl *Client) Update(u graph.NodeID, ev store.Event) error {
 
 // Query assembles u's event stream: one query per server holding a view
 // in u's pull set (plus u's own), replies merged to the ten newest.
+//
+// When a pull-set server is down, the query degrades instead of
+// failing: the missing views are reconstructed by pulling the OWN views
+// of u and all of u's in-neighbors from whatever servers are healthy —
+// the paper's pull-all floor. Every event reaches its producer's own
+// view on the producer's update path, so the fallback is correct; it
+// is just costlier (one batch per server hosting any followed
+// producer) and can miss events parked for servers that are still
+// down. Results from the degraded path are exact-duplicate-deduped,
+// since hub views and own views overlap.
 func (cl *Client) Query(u graph.NodeID) ([]store.Event, error) {
 	batches := cl.pullBatch[u]
 	var wg sync.WaitGroup
@@ -156,7 +555,7 @@ func (cl *Client) Query(u graph.NodeID) ([]store.Event, error) {
 		wg.Add(1)
 		go func(i int, b batch) {
 			defer wg.Done()
-			body, err := cl.conns[b.server].roundTrip(encodeQuery(store.StreamSize, b.views))
+			body, err := cl.call(b.server, encodeQuery(store.StreamSize, b.views))
 			if err != nil {
 				errs[i] = err
 				return
@@ -165,12 +564,88 @@ func (cl *Client) Query(u graph.NodeID) ([]store.Event, error) {
 		}(i, b)
 	}
 	wg.Wait()
-	var out []store.Event
+
+	degraded := false
 	for i := range batches {
-		if errs[i] != nil {
-			return nil, errs[i]
+		if errs[i] == nil {
+			continue
 		}
-		out = store.MergeNewest(out, replies[i], store.StreamSize)
+		if errors.Is(errs[i], ErrServerDown) {
+			degraded = true
+			continue
+		}
+		return nil, errs[i]
 	}
-	return out, nil
+	if !degraded {
+		var out []store.Event
+		for i := range batches {
+			out = store.MergeNewest(out, replies[i], store.StreamSize)
+		}
+		return out, nil
+	}
+
+	cl.note(func(st *ClientStats) { st.DegradedQueries++ })
+	all := make([]store.Event, 0, store.StreamSize*(len(batches)+1))
+	for i := range batches {
+		all = append(all, replies[i]...) // failed batches contribute nil
+	}
+	for _, b := range cl.fallbackBatches(u) {
+		if cl.ServerDown(b.server) {
+			continue // that producer's recent events are unreachable for now
+		}
+		body, err := cl.call(b.server, encodeQuery(store.StreamSize, b.views))
+		if err != nil {
+			continue // best effort: degrade further rather than fail
+		}
+		evs, err := decodeEvents(body)
+		if err != nil {
+			continue
+		}
+		all = append(all, evs...)
+	}
+	return dedupeNewest(all, store.StreamSize), nil
+}
+
+// fallbackBatches returns (building on first use) the pull-all batch
+// set for u: the own views of u and every in-neighbor, grouped by
+// server.
+func (cl *Client) fallbackBatches(u graph.NodeID) []batch {
+	cl.fallbackMu.Lock()
+	defer cl.fallbackMu.Unlock()
+	if b, ok := cl.fallback[u]; ok {
+		return b
+	}
+	g := cl.sched.Graph()
+	views := append([]graph.NodeID{u}, g.InNeighbors(u)...)
+	b := cl.group(views)
+	cl.fallback[u] = b
+	return b
+}
+
+// dedupeNewest sorts events newest-first, removes exact duplicates, and
+// trims to k — the merge step of the degraded query path, where the
+// same event can arrive from both a hub view and its producer's own
+// view.
+func dedupeNewest(evs []store.Event, k int) []store.Event {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.TS != b.TS {
+			return a.TS > b.TS
+		}
+		if a.User != b.User {
+			return a.User < b.User
+		}
+		return a.ID < b.ID
+	})
+	out := evs[:0]
+	for i, ev := range evs {
+		if i > 0 && ev == evs[i-1] {
+			continue
+		}
+		out = append(out, ev)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
 }

@@ -9,6 +9,7 @@ package netstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -16,19 +17,83 @@ import (
 	"piggyback/internal/store"
 )
 
-// Protocol: every message is a length-prefixed frame.
+// Protocol v2: every message is a length-prefixed frame carrying a
+// protocol version and the sender's plan epoch. The epoch is the hook
+// for drain-free schedule rollout (ROADMAP item 2b): servers stamp
+// responses with the plan epoch they are serving, so a client can
+// observe a rollout propagate without any side channel.
 //
-//	frame  := len(uint32 LE) body
-//	request body :=
+//	frame  := len(uint32 LE) version(1) epoch(uint32 LE) payload
+//	request payload :=
 //	    opUpdate(1) event{user int32, id int64, ts int64} n(uint32) n×view(int32)
 //	  | opQuery(1)  k(uint32) n(uint32) n×view(int32)
-//	response body :=
-//	    update → empty
-//	    query  → count(uint32) count×event{user int32, id int64, ts int64}
+//	response payload := status(1) rest
+//	    status=statusOK:  update → empty, query → count(uint32) count×event
+//	    status=statusErr: code(1) message(utf-8, rest of payload)
+//
+// Typed error frames replace v1's silent connection drops: a malformed
+// request gets a statusErr reply (the framing is still intact — a bad
+// payload says nothing about the stream position), while frame-level
+// corruption still closes the connection, the only safe move once the
+// length prefix itself cannot be trusted.
 const (
 	opUpdate byte = 1
 	opQuery  byte = 2
 )
+
+// protocolVersion is the wire version this build speaks. A peer frame
+// with any other version is rejected with ErrVersionMismatch.
+const protocolVersion = 2
+
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// frameHdr is the fixed frame overhead past the length prefix.
+const frameHdr = 1 + 4 // version + epoch
+
+// ErrVersionMismatch is returned when a peer speaks a different
+// protocol version; the connection must be dropped.
+var ErrVersionMismatch = errors.New("netstore: protocol version mismatch")
+
+// ErrCode classifies a typed error frame.
+type ErrCode byte
+
+const (
+	// ErrCodeMalformed means the request payload failed to decode.
+	ErrCodeMalformed ErrCode = 1
+	// ErrCodeUnknownOp means the request op byte is not recognized.
+	ErrCodeUnknownOp ErrCode = 2
+	// ErrCodeInternal means the server failed while serving a
+	// well-formed request.
+	ErrCodeInternal ErrCode = 3
+)
+
+// String names the code for logs.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrCodeMalformed:
+		return "malformed"
+	case ErrCodeUnknownOp:
+		return "unknown-op"
+	case ErrCodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code-%d", byte(c))
+}
+
+// ServerError is a typed error frame from the server: the request was
+// received and rejected deterministically. The stream stays usable, and
+// retrying the identical request is pointless.
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("netstore: server error (%s): %s", e.Code, e.Msg)
+}
 
 // maxFrame bounds a frame to keep a malicious or corrupt peer from
 // forcing huge allocations.
@@ -36,36 +101,81 @@ const maxFrame = 16 << 20
 
 const eventWire = 4 + 8 + 8 // user + id + ts
 
-func writeFrame(w io.Writer, body []byte) error {
-	var hdr [4]byte
-	if len(body) > maxFrame {
-		return fmt.Errorf("netstore: frame of %d bytes exceeds limit", len(body))
+func writeFrame(w io.Writer, epoch uint32, payload []byte) error {
+	var hdr [4 + frameHdr]byte
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netstore: frame of %d bytes exceeds limit", len(payload))
 	}
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[:], uint32(frameHdr+len(payload)))
+	hdr[4] = protocolVersion
+	binary.LittleEndian.PutUint32(hdr[5:], epoch)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(body)
+	_, err := w.Write(payload)
 	return err
 }
 
-func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+func readFrame(r io.Reader, buf []byte) (payload []byte, epoch uint32, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("netstore: frame of %d bytes exceeds limit", n)
+	if n > maxFrame+frameHdr {
+		return nil, 0, fmt.Errorf("netstore: frame of %d bytes exceeds limit", n)
+	}
+	if n < frameHdr {
+		return nil, 0, fmt.Errorf("netstore: frame of %d bytes is shorter than its header", n)
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return buf, nil
+	if buf[0] != protocolVersion {
+		return nil, 0, fmt.Errorf("%w: got %d, want %d", ErrVersionMismatch, buf[0], protocolVersion)
+	}
+	return buf[frameHdr:], binary.LittleEndian.Uint32(buf[1:]), nil
+}
+
+// okResponse builds a statusOK response payload around rest (nil for a
+// bare ack).
+func okResponse(rest []byte) []byte {
+	out := make([]byte, 1+len(rest))
+	out[0] = statusOK
+	copy(out[1:], rest)
+	return out
+}
+
+// errResponse builds a statusErr response payload.
+func errResponse(code ErrCode, msg string) []byte {
+	out := make([]byte, 2+len(msg))
+	out[0] = statusErr
+	out[1] = byte(code)
+	copy(out[2:], msg)
+	return out
+}
+
+// decodeResponse splits a response payload into its body, or a
+// *ServerError for typed error frames.
+func decodeResponse(payload []byte) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("netstore: empty response")
+	}
+	switch payload[0] {
+	case statusOK:
+		return payload[1:], nil
+	case statusErr:
+		if len(payload) < 2 {
+			return nil, fmt.Errorf("netstore: truncated error frame")
+		}
+		return nil, &ServerError{Code: ErrCode(payload[1]), Msg: string(payload[2:])}
+	default:
+		return nil, fmt.Errorf("netstore: unknown response status %d", payload[0])
+	}
 }
 
 func putEvent(b []byte, ev store.Event) {
@@ -142,7 +252,7 @@ func decodeRequest(body []byte) (op byte, ev store.Event, k int, views []graph.N
 			views[i] = graph.NodeID(binary.LittleEndian.Uint32(body[9+4*i:]))
 		}
 	default:
-		return 0, store.Event{}, 0, nil, fmt.Errorf("netstore: unknown op %d", op)
+		return 0, store.Event{}, 0, nil, unknownOpError(op)
 	}
 	return op, ev, k, views, nil
 }

@@ -3,14 +3,40 @@ package netstore
 import (
 	"bufio"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"piggyback/internal/graph"
 	"piggyback/internal/store"
 )
+
+// DefaultIdleTimeout is how long a connection may sit with no complete
+// frame before the server drops it — dead clients must not pin handler
+// goroutines forever.
+const DefaultIdleTimeout = 2 * time.Minute
+
+// ServerConfig tunes a Server. The zero value uses every default.
+type ServerConfig struct {
+	// IdleTimeout drops connections idle for this long; 0 means
+	// DefaultIdleTimeout, negative disables the deadline.
+	IdleTimeout time.Duration
+	// OnProtoError, when non-nil, is called for every malformed request
+	// (before the typed error frame goes out) and for frame-level
+	// failures that drop a connection — the hook that makes protocol
+	// bugs visible instead of looking like network flakes. Called from
+	// handler goroutines; must be safe for concurrent use.
+	OnProtoError func(remote string, err error)
+	// Views seeds the server with existing view state — the restart
+	// path: a server that comes back after a crash with its durable
+	// views intact (the chaos tests model a persistent tier; the
+	// paper's memcached tier would come back empty). The map is copied.
+	Views map[graph.NodeID][]store.Event
+}
 
 // Server is one TCP data-store server holding user views. Unlike the
 // in-process store (one goroutine per server, no locks), a TCP server
@@ -18,8 +44,13 @@ import (
 // mutex-protected container — the same shape as a memcached slab tier.
 type Server struct {
 	ln     net.Listener
+	cfg    ServerConfig
 	shards [viewShards]viewShard
 	wg     sync.WaitGroup
+
+	// epoch is the plan epoch stamped on every response frame — the
+	// rollout observation hook. SetEpoch publishes a new one atomically.
+	epoch atomic.Uint32
 
 	mu     sync.Mutex
 	closed bool
@@ -34,23 +65,48 @@ type viewShard struct {
 }
 
 // NewServer starts a server listening on addr (use "127.0.0.1:0" for an
-// ephemeral test port).
+// ephemeral test port) with the default configuration.
 func NewServer(addr string) (*Server, error) {
+	return NewServerWith(addr, ServerConfig{})
+}
+
+// NewServerWith is NewServer with explicit configuration.
+func NewServerWith(addr string, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, conns: make(map[net.Conn]struct{})}
+	return NewServerOn(ln, cfg), nil
+}
+
+// NewServerOn starts a server on an existing listener — the seam that
+// lets tests interpose a fault-injecting listener between the server
+// and its clients.
+func NewServerOn(ln net.Listener, cfg ServerConfig) *Server {
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	s := &Server{ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
 	for i := range s.shards {
 		s.shards[i].views = make(map[graph.NodeID][]store.Event)
 	}
+	for v, list := range cfg.Views {
+		sh := s.shard(v)
+		sh.views[v] = append([]store.Event(nil), list...)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the server's listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetEpoch publishes the plan epoch stamped on subsequent responses.
+func (s *Server) SetEpoch(e uint32) { s.epoch.Store(e) }
+
+// Epoch returns the currently published plan epoch.
+func (s *Server) Epoch() uint32 { return s.epoch.Load() }
 
 // Close stops accepting, closes live connections, and waits for handler
 // goroutines to drain.
@@ -64,6 +120,22 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
+}
+
+// Snapshot copies out every view — the durable state a restarted server
+// would reload (ServerConfig.Views). Call after Close for a consistent
+// image, or any time for a best-effort one.
+func (s *Server) Snapshot() map[graph.NodeID][]store.Event {
+	out := make(map[graph.NodeID][]store.Event)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for v, list := range sh.views {
+			out[v] = append([]store.Event(nil), list...)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 func (s *Server) acceptLoop() {
@@ -86,6 +158,12 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+func (s *Server) protoError(conn net.Conn, err error) {
+	if s.cfg.OnProtoError != nil {
+		s.cfg.OnProtoError(conn.RemoteAddr().String(), err)
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -97,34 +175,60 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	var buf []byte
+	reply := func(payload []byte) bool {
+		if writeFrame(bw, s.epoch.Load(), payload) != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
 	for {
-		body, err := readFrame(br, buf)
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		payload, _, err := readFrame(br, buf)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				return // protocol error or closed connection
+			// Frame-level failure: the stream position is untrustworthy,
+			// so the connection must die — but not silently. EOF is a
+			// clean hangup; everything else goes through the hook, and a
+			// version mismatch gets a best-effort parting error frame
+			// before the drop.
+			if !errors.Is(err, io.EOF) {
+				s.protoError(conn, err)
+			}
+			if errors.Is(err, ErrVersionMismatch) {
+				reply(errResponse(ErrCodeMalformed, err.Error()))
 			}
 			return
 		}
-		buf = body[:0]
-		op, ev, k, views, err := decodeRequest(body)
+		buf = payload[:0]
+		op, ev, k, views, err := decodeRequest(payload)
 		if err != nil {
-			return // drop the connection on malformed input
+			// Payload-level failure: the framing is intact, so reply with
+			// a typed error frame and keep serving — dropping the
+			// connection here made every client-side encoding bug look
+			// like a network flake.
+			s.protoError(conn, err)
+			code := ErrCodeMalformed
+			if errors.Is(err, errUnknownOp) {
+				code = ErrCodeUnknownOp
+			}
+			if !reply(errResponse(code, err.Error())) {
+				return
+			}
+			continue
 		}
 		switch op {
 		case opUpdate:
 			for _, v := range views {
 				s.insert(v, ev)
 			}
-			if writeFrame(bw, nil) != nil {
+			if !reply(okResponse(nil)) {
 				return
 			}
 		case opQuery:
-			if writeFrame(bw, encodeEvents(s.query(views, k))) != nil {
+			if !reply(okResponse(encodeEvents(s.query(views, k)))) {
 				return
 			}
-		}
-		if bw.Flush() != nil {
-			return
 		}
 	}
 }
@@ -133,11 +237,22 @@ func (s *Server) shard(v graph.NodeID) *viewShard {
 	return &s.shards[uint32(v)%viewShards]
 }
 
+// insert adds ev to view v, keeping newest-first order and the cap.
+// The insert is idempotent on the exact event tuple: a client that
+// timed out after the server applied its update retries the identical
+// frame, and a second application would diverge the view from a
+// fault-free run.
 func (s *Server) insert(v graph.NodeID, ev store.Event) {
 	sh := s.shard(v)
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	list := sh.views[v]
 	i := sort.Search(len(list), func(i int) bool { return list[i].TS <= ev.TS })
+	for j := i; j < len(list) && list[j].TS == ev.TS; j++ {
+		if list[j] == ev {
+			return // duplicate delivery (retry after lost ack)
+		}
+	}
 	list = append(list, store.Event{})
 	copy(list[i+1:], list[i:])
 	list[i] = ev
@@ -145,7 +260,6 @@ func (s *Server) insert(v graph.NodeID, ev store.Event) {
 		list = list[:store.ViewCap]
 	}
 	sh.views[v] = list
-	sh.mu.Unlock()
 }
 
 func (s *Server) query(views []graph.NodeID, k int) []store.Event {
@@ -166,4 +280,12 @@ func (s *Server) query(views []graph.NodeID, k int) []store.Event {
 		out = store.MergeNewest(out, snapshot, k)
 	}
 	return out
+}
+
+// errUnknownOp lets the handler map decode failures to the right error
+// code without string matching.
+var errUnknownOp = errors.New("netstore: unknown op")
+
+func unknownOpError(op byte) error {
+	return fmt.Errorf("%w %d", errUnknownOp, op)
 }

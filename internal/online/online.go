@@ -117,9 +117,24 @@ type Config struct {
 	ChitChat chitchat.Config
 	// Nosy configures SolverNosy re-solves.
 	Nosy nosy.Config
-	// Registry resolves solver names for SolverAuto; nil means
-	// solver.Default. Ignored by the other kinds and by Regional.
+	// Registry resolves solver names for SolverAuto and Fallback; nil
+	// means solver.Default.
 	Registry *solver.Registry
+	// Fallback, when non-empty, names a registry solver that backs a
+	// circuit breaker around the regional solver: BreakerThreshold
+	// consecutive hard re-solve failures quarantine the primary and
+	// route re-solves to the fallback, with half-open probing every
+	// BreakerProbeEvery-th re-solve. The primary is wrapped in
+	// solver.WithRecover so panics count as failures instead of killing
+	// the daemon. Empty disables the breaker (and panics stay fatal, as
+	// before).
+	Fallback string
+	// BreakerThreshold is the consecutive-failure trip count; 0 means
+	// the solver.BreakerConfig default (3).
+	BreakerThreshold int
+	// BreakerProbeEvery is the half-open probe cadence; 0 means the
+	// solver.BreakerConfig default (4).
+	BreakerProbeEvery int
 }
 
 func (cfg Config) withDefaults() Config {
@@ -172,6 +187,9 @@ type Stats struct {
 	// daemon's re-solve latency budget, what the selector is meant to
 	// spend better.
 	ResolveWall time.Duration
+	// Breaker is the circuit-breaker state when Config.Fallback is set
+	// (nil otherwise): trips, probes, fallback solves, open/closed.
+	Breaker *solver.BreakerStats
 }
 
 // Daemon maintains a near-optimal schedule over a churning graph. Not
@@ -181,6 +199,10 @@ type Daemon struct {
 	r        *workload.Rates
 	m        *incremental.Maintainer
 	regional solver.Solver
+	// breaker is the circuit breaker wrapped around the regional solver
+	// when Config.Fallback is set; nil otherwise. d.regional aliases it
+	// then, so this field only serves Stats.
+	breaker *solver.Breaker
 
 	// OnSplice, when non-nil, is called synchronously after every
 	// ACCEPTED localized re-solve with the rebased live graph and the
@@ -252,6 +274,30 @@ func New(s *core.Schedule, r *workload.Rates, cfg Config) (*Daemon, error) {
 		return nil, fmt.Errorf("online: regional solver %q: %w",
 			d.regional.Name(), solver.ErrRegionUnsupported)
 	}
+	if d.cfg.Fallback != "" {
+		reg := d.cfg.Registry
+		if reg == nil {
+			reg = solver.Default
+		}
+		fb, err := reg.New(d.cfg.Fallback, solver.Options{Workers: d.cfg.Nosy.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("online: fallback solver: %w", err)
+		}
+		if !solver.SupportsRegions(fb) {
+			return nil, fmt.Errorf("online: fallback solver %q: %w",
+				fb.Name(), solver.ErrRegionUnsupported)
+		}
+		// WithRecover turns a panicking primary into a hard failure the
+		// breaker can count; without the breaker a solver panic stays
+		// fatal, exactly as before.
+		d.breaker = solver.NewBreaker(
+			solver.Chain(d.regional, solver.WithRecover()), fb,
+			solver.BreakerConfig{
+				Threshold:  d.cfg.BreakerThreshold,
+				ProbeEvery: d.cfg.BreakerProbeEvery,
+			})
+		d.regional = d.breaker
+	}
 	d.m = incremental.New(s, r)
 	d.m.OnRescue = d.onRescue
 	d.lb = lowerBound(d.epoch, r)
@@ -296,7 +342,14 @@ func (d *Daemon) Drift() float64 {
 }
 
 // Stats returns the op and re-solve counters so far.
-func (d *Daemon) Stats() Stats { return d.stats }
+func (d *Daemon) Stats() Stats {
+	st := d.stats
+	if d.breaker != nil {
+		bs := d.breaker.Stats()
+		st.Breaker = &bs
+	}
+	return st
+}
 
 // Rates returns the live workload rates (mutated by rate-update ops).
 func (d *Daemon) Rates() *workload.Rates { return d.r }
@@ -400,13 +453,13 @@ func (d *Daemon) ServeCtx(ctx context.Context, ops <-chan workload.ChurnOp) (Sta
 	for {
 		select {
 		case <-ctx.Done():
-			return d.stats, ctx.Err()
+			return d.Stats(), ctx.Err()
 		case op, ok := <-ops:
 			if !ok {
-				return d.stats, nil
+				return d.Stats(), nil
 			}
 			if err := d.ApplyCtx(ctx, op); err != nil {
-				return d.stats, err
+				return d.Stats(), err
 			}
 		}
 	}

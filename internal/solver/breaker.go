@@ -1,0 +1,159 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// BreakerConfig tunes a circuit breaker. The zero value uses the
+// defaults.
+type BreakerConfig struct {
+	// Threshold is how many CONSECUTIVE hard failures of the primary
+	// trip the breaker; 0 means 3.
+	Threshold int
+	// ProbeEvery is the half-open cadence: while tripped, every
+	// ProbeEvery-th solve first probes the primary, closing the breaker
+	// on success; 0 means 4.
+	ProbeEvery int
+}
+
+func (cfg BreakerConfig) withDefaults() BreakerConfig {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 4
+	}
+	return cfg
+}
+
+// BreakerStats counts what a Breaker has seen and done.
+type BreakerStats struct {
+	// PrimarySolves / FallbackSolves count which solver served each
+	// request (a failed primary attempt followed by the fallback counts
+	// once for each).
+	PrimarySolves, FallbackSolves int
+	// Failures counts hard primary failures (nil result with a non-
+	// cancellation error); Trips counts closed→open transitions.
+	Failures, Trips int
+	// Probes counts half-open probe attempts; Closes counts open→closed
+	// recoveries.
+	Probes, Closes int
+	// Open reports the current state.
+	Open bool
+}
+
+// Breaker is a circuit breaker over two solvers: it serves from
+// primary until Threshold consecutive hard failures, then quarantines
+// the primary and serves from fallback, probing the primary every
+// ProbeEvery-th solve (half-open) and closing again on the first
+// probe success.
+//
+// A hard failure is a nil Result with an error that is not the
+// caller's own cancellation: panics surfaced by WithRecover, typed
+// solver errors, and deadline-expired solves that violated the anytime
+// contract all count; a context.Canceled from the caller does not.
+// Successful results — including valid best-so-far anytime results
+// accompanied by a cancellation error — reset the failure streak.
+//
+// Safe for concurrent use, though solves themselves serialize per the
+// underlying solver's own rules.
+type Breaker struct {
+	primary, fallback Solver
+	cfg               BreakerConfig
+
+	mu         sync.Mutex
+	consec     int
+	sinceProbe int
+	stats      BreakerStats
+}
+
+// NewBreaker wraps primary with a quarantine-to-fallback circuit
+// breaker. Wrap the primary in WithRecover first if it may panic.
+func NewBreaker(primary, fallback Solver, cfg BreakerConfig) *Breaker {
+	return &Breaker{primary: primary, fallback: fallback, cfg: cfg.withDefaults()}
+}
+
+// Name identifies the breaker and both members.
+func (b *Breaker) Name() string {
+	return fmt.Sprintf("breaker(%s->%s)", b.primary.Name(), b.fallback.Name())
+}
+
+// SupportsRegions requires BOTH members to be region-capable: either
+// one may serve any given solve.
+func (b *Breaker) SupportsRegions() bool {
+	return SupportsRegions(b.primary) && SupportsRegions(b.fallback)
+}
+
+// Stats returns a copy of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// hardFailure reports whether a solve outcome counts against the
+// primary.
+func hardFailure(ctx context.Context, res *Result, err error) bool {
+	if res != nil || err == nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) || ctx.Err() == nil
+}
+
+// Solve implements Solver with the breaker discipline.
+func (b *Breaker) Solve(ctx context.Context, p Problem) (*Result, error) {
+	b.mu.Lock()
+	open := b.stats.Open
+	probe := false
+	if open {
+		b.sinceProbe++
+		if b.sinceProbe >= b.cfg.ProbeEvery {
+			b.sinceProbe = 0
+			probe = true
+			b.stats.Probes++
+		}
+	}
+	b.mu.Unlock()
+
+	if !open || probe {
+		b.mu.Lock()
+		b.stats.PrimarySolves++
+		b.mu.Unlock()
+		res, err := b.primary.Solve(ctx, p)
+		if !hardFailure(ctx, res, err) {
+			b.mu.Lock()
+			b.consec = 0
+			if b.stats.Open {
+				b.stats.Open = false
+				b.stats.Closes++
+			}
+			b.mu.Unlock()
+			return res, err
+		}
+		b.mu.Lock()
+		b.stats.Failures++
+		b.consec++
+		if !b.stats.Open && b.consec >= b.cfg.Threshold {
+			b.stats.Open = true
+			b.stats.Trips++
+			b.sinceProbe = 0
+		}
+		nowOpen := b.stats.Open
+		b.mu.Unlock()
+		if !nowOpen {
+			// Below threshold: surface the failure to the caller (the
+			// daemon books it as a SolverError) rather than silently
+			// absorbing every primary hiccup into fallback work.
+			return res, err
+		}
+		// Tripped (or probing while tripped): fall through to fallback.
+	}
+
+	b.mu.Lock()
+	b.stats.FallbackSolves++
+	b.mu.Unlock()
+	return b.fallback.Solve(ctx, p)
+}

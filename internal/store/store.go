@@ -48,6 +48,12 @@ type server struct {
 	views map[graph.NodeID][]Event // events kept newest-first
 
 	serviceSpins int
+
+	// faults is the injected-failure budget: while positive, each update
+	// message decrements it and is acked WITHOUT being applied — a server
+	// that crashed after acking and restarted from an older image. Set
+	// via Cluster.InjectFault.
+	faults atomic.Int32
 }
 
 type reqKind uint8
@@ -72,8 +78,12 @@ func (s *server) run() {
 		spin(s.serviceSpins)
 		switch r.kind {
 		case reqUpdate:
-			for _, v := range r.views {
-				s.insert(v, r.ev)
+			if s.faults.Load() > 0 {
+				s.faults.Add(-1)
+			} else {
+				for _, v := range r.views {
+					s.insert(v, r.ev)
+				}
 			}
 			r.done <- struct{}{}
 		case reqQuery:
@@ -283,6 +293,12 @@ func (c *Cluster) Close() {
 
 // NumServers returns the data-store tier size.
 func (c *Cluster) NumServers() int { return len(c.servers) }
+
+// InjectFault makes server i lose its next n update messages: each is
+// acked but not applied, modeling a crash-restart that dropped
+// in-flight writes. Safe to call while traffic and Swap are running —
+// the chaos hook the swap-under-faults test drives.
+func (c *Cluster) InjectFault(i, n int) { c.servers[i].faults.Add(int32(n)) }
 
 // MessagesPerUpdate returns how many server messages an update by u costs.
 func (c *Cluster) MessagesPerUpdate(u graph.NodeID) int { return len(c.plan.Load().pushBatch[u]) }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"testing"
 
 	"piggyback/internal/baseline"
@@ -306,5 +307,75 @@ func TestSwapSchedule(t *testing.T) {
 	bad := baseline.PushAll(small)
 	if err := c.Swap(bad); err == nil {
 		t.Fatal("Swap accepted a schedule with a different node count")
+	}
+}
+
+// TestSwapRacesFaultyServersUnderLoad extends the swap-under-traffic
+// test with fault injection: while concurrent clients hammer
+// Update/Query, one goroutine keeps swapping the plan and another keeps
+// killing servers mid-swap (InjectFault: acked-but-lost writes). Run
+// under -race this pins the plan pointer, the per-server fault counter,
+// and the request channels against each other; functionally, the
+// cluster must stay live and serve writes issued after the chaos ends.
+func TestSwapRacesFaultyServersUnderLoad(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(150, 3))
+	r := workload.LogDegree(g, 5)
+	hybrid := baseline.Hybrid(g, r)
+	pn := nosy.Solve(g, r, nosy.Config{}).Schedule
+	c := newCluster(t, hybrid, 4)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			cl := c.NewClient()
+			u := graph.NodeID(k)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cl.Update(u, Event{User: u, ID: int64(i), TS: int64(i)})
+				cl.Query(u)
+				u = (u + 1) % graph.NodeID(g.NumNodes())
+			}
+		}(k)
+	}
+	for i := 0; i < 25; i++ {
+		next := hybrid
+		if i%2 == 1 {
+			next = pn
+		}
+		if err := c.Swap(next); err != nil {
+			t.Fatal(err)
+		}
+		// Kill a server mid-swap: its next writes are acked and lost.
+		c.InjectFault(i%c.NumServers(), 3)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The leftover fault budget is bounded (25 swaps × 3 writes), so
+	// repeating a write must land within that many attempts — anything
+	// more means the cluster wedged rather than merely lost writes.
+	cl := c.NewClient()
+	for i := 0; ; i++ {
+		ev := Event{User: 0, ID: int64(4242 + i), TS: int64(1<<50 + i)}
+		cl.Update(0, ev)
+		landed := false
+		for _, got := range cl.Query(0) {
+			if got == ev {
+				landed = true
+			}
+		}
+		if landed {
+			break
+		}
+		if i > 25*3 {
+			t.Fatal("writes still lost after the injected fault budget was exhausted")
+		}
 	}
 }
