@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"piggyback/internal/baseline"
 	"piggyback/internal/chitchat"
@@ -26,7 +27,9 @@ import (
 	"piggyback/internal/online"
 	_ "piggyback/internal/shard" // registers the "shard" solver
 	"piggyback/internal/solver"
+	"piggyback/internal/stats"
 	"piggyback/internal/store"
+	"piggyback/internal/telemetry"
 	"piggyback/internal/workload"
 )
 
@@ -48,6 +51,8 @@ func main() {
 	servers := flag.Int("servers", 8, "view-store servers (with -serve)")
 	fallback := flag.String("fallback", "", "circuit-breaker fallback solver; quarantines a failing -solver")
 	breakerN := flag.Int("breaker", 0, "consecutive solver failures before quarantine (0 = default, with -fallback)")
+	telem := flag.String("telemetry", "", "serve /metrics, /metrics.txt and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	linger := flag.Duration("linger", 0, "keep the -telemetry endpoint up this long after the run completes")
 	flag.Parse()
 
 	cfg := online.Config{
@@ -78,6 +83,35 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Regional = regional
+	}
+
+	// -telemetry: one registry feeds the daemon's online_* series, the
+	// per-solver solver_* series (via the WithMetrics middleware around
+	// the regional solver), and a liveness gauge; the tracer records the
+	// deterministic re-solve span tree. The endpoint is up before the
+	// first op, and every series is pre-registered so a scrape during
+	// warmup sees the full inventory at zero.
+	if *telem != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Metrics = reg
+		cfg.Tracer = telemetry.NewTracer(*seed)
+		cfg.Events = &telemetry.EventLog{}
+		sink := stats.NewSolverMetrics(reg)
+		sink.Touch(*solverName)
+		if cfg.Regional != nil {
+			cfg.Regional = solver.Chain(cfg.Regional, solver.WithMetrics(sink))
+		}
+		reg.Gauge("piggyback_up").Set(1)
+		ln, err := telemetry.Serve(*telem, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Printf("telemetry: http://%s/metrics (pprof at /debug/pprof/)\n", ln.Addr())
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
 	}
 
 	g := graphgen.Social(graphgen.FlickrLike(*nodes, *seed))

@@ -14,6 +14,7 @@ import (
 	"piggyback/internal/graph"
 	"piggyback/internal/partition"
 	"piggyback/internal/store"
+	"piggyback/internal/telemetry"
 )
 
 // RequestTimeout bounds one server round-trip. The paper's prototype
@@ -69,6 +70,11 @@ type DialConfig struct {
 	// OnStateChange, when non-nil, observes server health transitions.
 	// Called from request goroutines.
 	OnStateChange func(server int, down bool)
+	// Metrics, when non-nil, registers the client's counters and gauges
+	// (netstore_client_*) in the given registry, so retries, handoff
+	// traffic, bytes on wire, and per-server epoch observations surface
+	// on /metrics. Client.Stats() works either way.
+	Metrics *telemetry.Registry
 
 	// sleep is the test seam for backoff waits; nil means time.Sleep.
 	sleep func(time.Duration)
@@ -102,7 +108,7 @@ func (cfg DialConfig) withDefaults() DialConfig {
 	return cfg
 }
 
-// ClientStats counts the client's failure handling so far.
+// ClientStats counts the client's failure handling and traffic so far.
 type ClientStats struct {
 	// Retries counts backoff-and-retry attempts; Redials counts fresh
 	// connections dialed (including probe dials).
@@ -118,6 +124,9 @@ type ClientStats struct {
 	DownEvents, UpEvents int
 	// ErrorFrames counts typed error frames received from servers.
 	ErrorFrames int
+	// BytesRead / BytesWritten count wire traffic across every server
+	// connection, including redials and handoff replay.
+	BytesRead, BytesWritten int64
 }
 
 // Client is a schedule-driven application-logic client over TCP
@@ -152,8 +161,9 @@ type Client struct {
 	fallbackMu sync.Mutex
 	fallback   map[graph.NodeID][]batch
 
-	statsMu sync.Mutex
-	stats   ClientStats
+	// inst backs both Stats() and (when DialConfig.Metrics is set) the
+	// /metrics exposition — one set of instruments, two readers.
+	inst *clientInstruments
 }
 
 // sconn is the client's per-server endpoint: the live connection (nil
@@ -162,6 +172,7 @@ type Client struct {
 // holds the lock for the full call so per-server operations serialize.
 type sconn struct {
 	mu   sync.Mutex
+	idx  int
 	addr string
 	c    net.Conn
 	br   *bufio.Reader
@@ -206,9 +217,11 @@ func DialConfigured(s *core.Schedule, addrs []string, cfg DialConfig) (*Client, 
 		assign:   partition.Hash(g.NumNodes(), len(addrs), cfg.Seed),
 		cfg:      cfg,
 		fallback: make(map[graph.NodeID][]batch),
+		inst:     newClientInstruments(cfg.Metrics, len(addrs)),
 	}
 	for i, addr := range addrs {
 		sc := &sconn{
+			idx:  i,
 			addr: addr,
 			rng:  rand.New(rand.NewSource(cfg.Seed*7919 + int64(i))),
 		}
@@ -252,17 +265,21 @@ func (cl *Client) Close() {
 	}
 }
 
-// Stats returns a copy of the failure-handling counters.
+// Stats returns a copy of the failure-handling and traffic counters.
 func (cl *Client) Stats() ClientStats {
-	cl.statsMu.Lock()
-	defer cl.statsMu.Unlock()
-	return cl.stats
-}
-
-func (cl *Client) note(f func(*ClientStats)) {
-	cl.statsMu.Lock()
-	f(&cl.stats)
-	cl.statsMu.Unlock()
+	return ClientStats{
+		Retries:         int(cl.inst.retries.Value()),
+		Redials:         int(cl.inst.redials.Value()),
+		Parked:          int(cl.inst.parked.Value()),
+		Replayed:        int(cl.inst.replayed.Value()),
+		HandoffDrops:    int(cl.inst.drops.Value()),
+		DegradedQueries: int(cl.inst.degraded.Value()),
+		DownEvents:      int(cl.inst.downs.Value()),
+		UpEvents:        int(cl.inst.ups.Value()),
+		ErrorFrames:     int(cl.inst.errorFrames.Value()),
+		BytesRead:       cl.inst.bytesRead.Value(),
+		BytesWritten:    cl.inst.bytesWritten.Value(),
+	}
 }
 
 // ServerDown reports whether the client currently considers server i
@@ -287,14 +304,14 @@ func (cl *Client) ServerEpoch(i int) uint32 {
 // owns s exclusively, as during dial).
 func (cl *Client) redial(s *sconn) error {
 	s.closeConn()
-	cl.note(func(st *ClientStats) { st.Redials++ })
+	cl.inst.redials.Inc()
 	c, err := net.DialTimeout("tcp", s.addr, cl.cfg.Timeout)
 	if err != nil {
 		return err
 	}
-	s.c = c
-	s.br = bufio.NewReader(c)
-	s.bw = bufio.NewWriterSize(c, 16<<10)
+	s.c = countingConn{Conn: c, r: cl.inst.bytesRead, w: cl.inst.bytesWritten}
+	s.br = bufio.NewReader(s.c)
+	s.bw = bufio.NewWriterSize(s.c, 16<<10)
 	return nil
 }
 
@@ -326,6 +343,7 @@ func (cl *Client) roundTripOnce(s *sconn, payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	s.lastEpoch = epoch
+	cl.inst.epochs[s.idx].Set(float64(epoch))
 	return decodeResponse(reply)
 }
 
@@ -363,7 +381,8 @@ func (cl *Client) call(si int, payload []byte) ([]byte, error) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			d := cl.backoff(s, attempt)
-			cl.note(func(st *ClientStats) { st.Retries++ })
+			cl.inst.retries.Inc()
+			cl.inst.backoffSleep.Add(d.Seconds())
 			if cl.cfg.OnRetry != nil {
 				cl.cfg.OnRetry(si, attempt, d)
 			}
@@ -387,7 +406,7 @@ func (cl *Client) call(si int, payload []byte) ([]byte, error) {
 			// A typed error frame is a complete, well-framed reply: the
 			// stream is intact and the rejection is deterministic, so
 			// neither redial nor retry applies.
-			cl.note(func(st *ClientStats) { st.ErrorFrames++ })
+			cl.inst.errorFrames.Inc()
 			if s.down {
 				cl.markUp(si, s)
 			}
@@ -401,7 +420,7 @@ func (cl *Client) call(si int, payload []byte) ([]byte, error) {
 	if !s.down {
 		s.down = true
 		s.downOps = 0
-		cl.note(func(st *ClientStats) { st.DownEvents++ })
+		cl.inst.downs.Inc()
 		if cl.cfg.OnStateChange != nil {
 			cl.cfg.OnStateChange(si, true)
 		}
@@ -415,7 +434,7 @@ func (cl *Client) call(si int, payload []byte) ([]byte, error) {
 func (cl *Client) markUp(si int, s *sconn) {
 	s.down = false
 	s.downOps = 0
-	cl.note(func(st *ClientStats) { st.UpEvents++ })
+	cl.inst.ups.Inc()
 	if cl.cfg.OnStateChange != nil {
 		cl.cfg.OnStateChange(si, false)
 	}
@@ -432,8 +451,10 @@ func (cl *Client) markUp(si int, s *sconn) {
 			if errors.As(err, &se) {
 				// Deterministic rejection: replaying it again can never
 				// succeed, so drop it rather than wedge the buffer.
-				cl.note(func(st *ClientStats) { st.ErrorFrames++; st.HandoffDrops++ })
+				cl.inst.errorFrames.Inc()
+				cl.inst.drops.Inc()
 				s.handoff = s.handoff[1:]
+				cl.inst.handoffDepth.Add(-1)
 				continue
 			}
 			s.closeConn()
@@ -441,7 +462,8 @@ func (cl *Client) markUp(si int, s *sconn) {
 			return
 		}
 		s.handoff = s.handoff[1:]
-		cl.note(func(st *ClientStats) { st.Replayed++ })
+		cl.inst.replayed.Inc()
+		cl.inst.handoffDepth.Add(-1)
 	}
 	s.handoff = nil
 }
@@ -453,7 +475,7 @@ func (cl *Client) markDownLocked(si int, s *sconn) {
 	}
 	s.down = true
 	s.downOps = 0
-	cl.note(func(st *ClientStats) { st.DownEvents++ })
+	cl.inst.downs.Inc()
 	if cl.cfg.OnStateChange != nil {
 		cl.cfg.OnStateChange(si, true)
 	}
@@ -469,11 +491,12 @@ func (cl *Client) park(si int, payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.handoff) >= cl.cfg.HandoffCap {
-		cl.note(func(st *ClientStats) { st.HandoffDrops++ })
+		cl.inst.drops.Inc()
 		return fmt.Errorf("netstore: server %d: %w (%d parked)", si, ErrHandoffFull, len(s.handoff))
 	}
 	s.handoff = append(s.handoff, payload)
-	cl.note(func(st *ClientStats) { st.Parked++ })
+	cl.inst.parked.Inc()
+	cl.inst.handoffDepth.Add(1)
 	return nil
 }
 
@@ -584,7 +607,7 @@ func (cl *Client) Query(u graph.NodeID) ([]store.Event, error) {
 		return out, nil
 	}
 
-	cl.note(func(st *ClientStats) { st.DegradedQueries++ })
+	cl.inst.degraded.Inc()
 	all := make([]store.Event, 0, store.StreamSize*(len(batches)+1))
 	for i := range batches {
 		all = append(all, replies[i]...) // failed batches contribute nil

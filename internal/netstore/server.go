@@ -13,6 +13,7 @@ import (
 
 	"piggyback/internal/graph"
 	"piggyback/internal/store"
+	"piggyback/internal/telemetry"
 )
 
 // DefaultIdleTimeout is how long a connection may sit with no complete
@@ -36,6 +37,26 @@ type ServerConfig struct {
 	// views intact (the chaos tests model a persistent tier; the
 	// paper's memcached tier would come back empty). The map is copied.
 	Views map[graph.NodeID][]store.Event
+	// Metrics, when non-nil, registers the server's counters
+	// (netstore_server_*) in the given registry; MetricsLabel
+	// distinguishes servers sharing one registry (typically the server
+	// index). Server.Stats() works either way.
+	Metrics      *telemetry.Registry
+	MetricsLabel string
+}
+
+// ServerStats counts one server's connections and traffic so far.
+type ServerStats struct {
+	// Conns counts connections accepted over the server's lifetime;
+	// ActiveConns is how many are currently open.
+	Conns, ActiveConns int
+	// BytesRead / BytesWritten count wire traffic across every
+	// connection; Frames counts complete request frames decoded.
+	BytesRead, BytesWritten int64
+	Frames                  int64
+	// ProtoErrors counts malformed requests and frame-level failures —
+	// everything routed through ServerConfig.OnProtoError.
+	ProtoErrors int
 }
 
 // Server is one TCP data-store server holding user views. Unlike the
@@ -45,6 +66,7 @@ type ServerConfig struct {
 type Server struct {
 	ln     net.Listener
 	cfg    ServerConfig
+	inst   *serverInstruments
 	shards [viewShards]viewShard
 	wg     sync.WaitGroup
 
@@ -86,7 +108,12 @@ func NewServerOn(ln net.Listener, cfg ServerConfig) *Server {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
-	s := &Server{ln: ln, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		ln:    ln,
+		cfg:   cfg,
+		inst:  newServerInstruments(cfg.Metrics, cfg.MetricsLabel),
+		conns: make(map[net.Conn]struct{}),
+	}
 	for i := range s.shards {
 		s.shards[i].views = make(map[graph.NodeID][]store.Event)
 	}
@@ -103,7 +130,25 @@ func NewServerOn(ln net.Listener, cfg ServerConfig) *Server {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // SetEpoch publishes the plan epoch stamped on subsequent responses.
-func (s *Server) SetEpoch(e uint32) { s.epoch.Store(e) }
+func (s *Server) SetEpoch(e uint32) {
+	s.epoch.Store(e)
+	s.inst.epoch.Set(float64(e))
+}
+
+// Stats returns a copy of the connection and traffic counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	active := len(s.conns)
+	s.mu.Unlock()
+	return ServerStats{
+		Conns:        int(s.inst.conns.Value()),
+		ActiveConns:  active,
+		BytesRead:    s.inst.bytesRead.Value(),
+		BytesWritten: s.inst.bytesWritten.Value(),
+		Frames:       s.inst.frames.Value(),
+		ProtoErrors:  int(s.inst.protoErrors.Value()),
+	}
+}
 
 // Epoch returns the currently published plan epoch.
 func (s *Server) Epoch() uint32 { return s.epoch.Load() }
@@ -153,12 +198,14 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.inst.conns.Inc()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
 }
 
 func (s *Server) protoError(conn net.Conn, err error) {
+	s.inst.protoErrors.Inc()
 	if s.cfg.OnProtoError != nil {
 		s.cfg.OnProtoError(conn.RemoteAddr().String(), err)
 	}
@@ -172,8 +219,11 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	// Byte accounting wraps the raw conn UNDER the bufio layers, so the
+	// counters see exactly what crosses the wire.
+	cc := countingConn{Conn: conn, r: s.inst.bytesRead, w: s.inst.bytesWritten}
+	br := bufio.NewReader(cc)
+	bw := bufio.NewWriter(cc)
 	var buf []byte
 	reply := func(payload []byte) bool {
 		if writeFrame(bw, s.epoch.Load(), payload) != nil {
@@ -200,6 +250,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		s.inst.frames.Inc()
 		buf = payload[:0]
 		op, ev, k, views, err := decodeRequest(payload)
 		if err != nil {

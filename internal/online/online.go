@@ -51,6 +51,7 @@ import (
 	"piggyback/internal/nosy"
 	"piggyback/internal/refine"
 	"piggyback/internal/solver"
+	"piggyback/internal/telemetry"
 	"piggyback/internal/workload"
 )
 
@@ -135,6 +136,20 @@ type Config struct {
 	// BreakerProbeEvery is the half-open probe cadence; 0 means the
 	// solver.BreakerConfig default (4).
 	BreakerProbeEvery int
+	// Metrics, when non-nil, registers the daemon's counters and gauges
+	// (online_*) in the given registry. Every series is registered at
+	// construction, so a scrape sees them at zero before the first op.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records every localized re-solve as a span
+	// (the regional solver is wrapped in solver.WithTracing): portfolio
+	// races and shard inner solves nest under it, and because the
+	// daemon's re-solves are strictly sequential the resulting span tree
+	// is deterministic for a fixed trace and configuration.
+	Tracer *telemetry.Tracer
+	// Events, when non-nil, receives circuit-breaker state transitions
+	// as ("breaker", "closed->open") events, in order — the stream the
+	// chaos tests pin exactly. Only meaningful with Fallback set.
+	Events *telemetry.EventLog
 }
 
 func (cfg Config) withDefaults() Config {
@@ -235,6 +250,46 @@ type Daemon struct {
 	// resolveRegion).
 	regionSeverity float64
 	stats          Stats
+	inst           daemonInstruments
+}
+
+// daemonInstruments mirrors Stats into a telemetry registry. With no
+// registry configured every field is a nil instrument and every update
+// is a no-op — the zero-cost-off contract.
+type daemonInstruments struct {
+	ops, adds, removes, rateUpdates *telemetry.Counter
+	rescues, resolves, reverted     *telemetry.Counter
+	solverErrors, regionEdges       *telemetry.Counter
+	boundaryRepairs                 *telemetry.Counter
+	breakerTransitions              *telemetry.Counter
+	cost, drift, lowerBound         *telemetry.Gauge
+	breakerState                    *telemetry.Gauge
+	resolveWall                     *telemetry.Gauge
+	regionSize                      *telemetry.Histogram
+}
+
+func newDaemonInstruments(reg *telemetry.Registry) daemonInstruments {
+	// A nil registry hands out nil instruments whose methods no-op, so
+	// no per-field guard is needed here or at the update sites.
+	return daemonInstruments{
+		ops:                reg.Counter("online_ops_total"),
+		adds:               reg.Counter("online_adds_total"),
+		removes:            reg.Counter("online_removes_total"),
+		rateUpdates:        reg.Counter("online_rate_updates_total"),
+		rescues:            reg.Counter("online_rescues_total"),
+		resolves:           reg.Counter("online_resolves_total"),
+		reverted:           reg.Counter("online_reverted_total"),
+		solverErrors:       reg.Counter("online_solver_errors_total"),
+		regionEdges:        reg.Counter("online_region_edges_total"),
+		boundaryRepairs:    reg.Counter("online_boundary_repairs_total"),
+		breakerTransitions: reg.Counter("online_breaker_transitions_total"),
+		cost:               reg.Gauge("online_cost"),
+		drift:              reg.Gauge("online_drift"),
+		lowerBound:         reg.Gauge("online_lower_bound"),
+		breakerState:       reg.Gauge("online_breaker_state"),
+		resolveWall:        reg.Gauge("online_resolve_wall_seconds_total"),
+		regionSize:         reg.Histogram("online_region_size", telemetry.SizeBuckets),
+	}
 }
 
 // New starts a daemon from an optimized valid schedule and its rates.
@@ -250,6 +305,7 @@ func New(s *core.Schedule, r *workload.Rates, cfg Config) (*Daemon, error) {
 		epoch: s.Graph(),
 		dirt:  make([]float64, s.Graph().NumNodes()),
 	}
+	d.inst = newDaemonInstruments(d.cfg.Metrics)
 	d.regional = d.cfg.Regional
 	if d.regional == nil {
 		switch d.cfg.Solver {
@@ -290,22 +346,42 @@ func New(s *core.Schedule, r *workload.Rates, cfg Config) (*Daemon, error) {
 		// WithRecover turns a panicking primary into a hard failure the
 		// breaker can count; without the breaker a solver panic stays
 		// fatal, exactly as before.
+		events := d.cfg.Events
+		inst := d.inst
 		d.breaker = solver.NewBreaker(
 			solver.Chain(d.regional, solver.WithRecover()), fb,
 			solver.BreakerConfig{
 				Threshold:  d.cfg.BreakerThreshold,
 				ProbeEvery: d.cfg.BreakerProbeEvery,
+				// Transitions are emitted sequentially in trip order (the
+				// daemon re-solves from one goroutine), so the event stream
+				// is an exact, assertable sequence.
+				OnTransition: func(from, to solver.BreakerState) {
+					inst.breakerState.Set(float64(to))
+					inst.breakerTransitions.Inc()
+					events.Emit("breaker", from.String()+"->"+to.String())
+				},
 			})
 		d.regional = d.breaker
+	}
+	if d.cfg.Tracer != nil {
+		// Wrap outermost so every daemon-triggered re-solve — primary,
+		// fallback, or probe alike — opens exactly one "solve/..." span,
+		// with portfolio and shard spans nesting under it via the context.
+		d.regional = solver.WithTracing(d.cfg.Tracer)(d.regional)
 	}
 	d.m = incremental.New(s, r)
 	d.m.OnRescue = d.onRescue
 	d.lb = lowerBound(d.epoch, r)
+	d.inst.cost.Set(d.m.Cost())
+	d.inst.lowerBound.Set(d.lb)
+	d.inst.drift.Set(d.Drift())
 	return d, nil
 }
 
 func (d *Daemon) onRescue(u, v graph.NodeID, cost float64) {
 	d.stats.Rescues++
+	d.inst.rescues.Inc()
 	d.charge(u, v, cost)
 }
 
@@ -389,6 +465,7 @@ func (d *Daemon) ApplyCtx(ctx context.Context, op workload.ChurnOp) error {
 			return err
 		}
 		d.stats.Adds++
+		d.inst.adds.Inc()
 		// A hub-covered add costs 0 and leaves no regret; a direct add
 		// pays c* that a re-solve might cover for free.
 		d.charge(op.U, op.V, d.m.Cost()-before)
@@ -397,6 +474,7 @@ func (d *Daemon) ApplyCtx(ctx context.Context, op workload.ChurnOp) error {
 			return err
 		}
 		d.stats.Removes++
+		d.inst.removes.Inc()
 		// Rescue regret is charged by the hook as it happens. The
 		// removal itself only LOWERS the cost; stranded hub supports are
 		// second-order (bounded by what the hub still covers) and
@@ -408,6 +486,7 @@ func (d *Daemon) ApplyCtx(ctx context.Context, op workload.ChurnOp) error {
 			return err
 		}
 		d.stats.RateUpdates++
+		d.inst.rateUpdates.Inc()
 		// Repricing regret scales with how much scheduled traffic the
 		// user carries; the epoch degrees are the cheap proxy.
 		regret := math.Abs(op.Prod-oldP)*float64(d.epoch.OutDegree(op.U)) +
@@ -417,11 +496,14 @@ func (d *Daemon) ApplyCtx(ctx context.Context, op workload.ChurnOp) error {
 		return fmt.Errorf("online: unknown op kind %d", op.Kind)
 	}
 	d.stats.Ops++
+	d.inst.ops.Inc()
 	d.sinceChk++
 	if d.sinceChk >= d.cfg.CheckEvery {
 		d.sinceChk = 0
 		d.checkDrift(ctx)
 	}
+	d.inst.cost.Set(d.m.Cost())
+	d.inst.drift.Set(d.Drift())
 	return nil
 }
 
@@ -544,6 +626,8 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 	nodes := epochNodes
 	regionEdges := graph.InducedEdgeIDs(liveG, nodes)
 	d.stats.RegionEdges += len(regionEdges)
+	d.inst.regionEdges.Add(int64(len(regionEdges)))
+	d.inst.regionSize.Observe(float64(len(regionEdges)))
 
 	// Clear the region's dirt up front: whatever the decision below,
 	// it is final for this dirt mass, and leaving it would re-trigger
@@ -572,13 +656,16 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 		Base:   liveS,
 		Region: regionEdges,
 	})
-	d.stats.ResolveWall += time.Since(solveStart)
+	wall := time.Since(solveStart)
+	d.stats.ResolveWall += wall
+	d.inst.resolveWall.Add(wall.Seconds())
 	if res != nil {
 		// A context-truncated re-solve still returns a valid best-so-far
 		// patch (res non-nil alongside err); only hard failures leave
 		// res nil, and then the maintained schedule stands.
 		patched = res.Schedule
 		d.stats.BoundaryRepairs += res.Report.BoundaryRepairs
+		d.inst.boundaryRepairs.Add(int64(res.Report.BoundaryRepairs))
 	} else {
 		// Hard failure: the solver never produced a schedule. This is
 		// misconfiguration or a bug, not an unprofitable re-solve, so it
@@ -586,6 +673,7 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 		// backoff models "patches cannot win here", which a solver that
 		// never ran says nothing about.
 		d.stats.SolverErrors++
+		d.inst.solverErrors.Inc()
 		d.stats.LastSolverErr = err
 		return
 	}
@@ -599,15 +687,18 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 
 	if patched == nil || patched.Cost(d.r) >= oldCost {
 		d.stats.Reverted++
+		d.inst.reverted.Inc()
 		d.revertStreak++
 		return
 	}
 	d.stats.Resolves++
+	d.inst.resolves.Inc()
 	d.revertStreak = 0
 	d.m = incremental.New(patched, d.r)
 	d.m.OnRescue = d.onRescue
 	d.epoch = liveG
 	d.lb = lowerBound(liveG, d.r)
+	d.inst.lowerBound.Set(d.lb)
 	if d.OnSplice != nil {
 		d.OnSplice(liveG, patched)
 	}

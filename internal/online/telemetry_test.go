@@ -1,0 +1,176 @@
+package online
+
+import (
+	"testing"
+
+	"piggyback/internal/chitchat"
+	"piggyback/internal/fault"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/nosy"
+	"piggyback/internal/solver"
+	"piggyback/internal/telemetry"
+	"piggyback/internal/workload"
+)
+
+// telemetryRun drives the breaker-quarantine scenario (panicking primary,
+// chitchat fallback) with full telemetry attached and returns the three
+// deterministic artifacts: the span tree, the non-timing metric
+// snapshot, and the breaker event stream.
+func telemetryRun(t *testing.T, workers int) (tree, snap string, events []string, st Stats) {
+	t.Helper()
+	g := graphgen.Social(graphgen.FlickrLike(scaled(400, 250), 7))
+	base := workload.LogDegree(g, 5)
+	r := freshRates(g, base)
+	init := chitchat.Solve(g, r, chitchat.Config{})
+	trace := workload.GenerateChurn(g, base, scaled(2500, 1200), workload.ChurnConfig{Seed: 7})
+
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(7)
+	var ev telemetry.EventLog
+	primary := solver.Chain(solver.NewNosy(nosy.Config{Workers: workers}), fault.SolverPanics(1, 4))
+	d, err := New(init, r, Config{
+		Regional:          primary,
+		Fallback:          "chitchat",
+		BreakerThreshold:  2,
+		BreakerProbeEvery: 2,
+		DriftThreshold:    0.02,
+		CheckEvery:        8,
+		BudgetFraction:    -1,
+		Metrics:           reg,
+		Tracer:            tr,
+		Events:            &ev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ApplyTrace(trace); err != nil {
+		t.Fatalf("trace failed: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("final schedule invalid: %v", err)
+	}
+	return tr.Tree(), reg.Snapshot().NonTiming().String(), ev.Attrs("breaker"), d.Stats()
+}
+
+// Same seed, same fault plan, same configuration: two runs must produce
+// a byte-identical span tree, an identical non-timing metric snapshot,
+// and an identical breaker event stream — and the artifacts must not
+// depend on the solver's worker count either.
+func TestDaemonTelemetryDeterministic(t *testing.T) {
+	tree1, snap1, ev1, _ := telemetryRun(t, 1)
+	tree2, snap2, ev2, _ := telemetryRun(t, 1)
+	if tree1 != tree2 {
+		t.Fatalf("span tree differs across identical runs:\n--- run 1\n%s\n--- run 2\n%s", tree1, tree2)
+	}
+	if snap1 != snap2 {
+		t.Fatalf("non-timing snapshot differs across identical runs:\n--- run 1\n%s\n--- run 2\n%s", snap1, snap2)
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("event streams differ: %v vs %v", ev1, ev2)
+	}
+	tree4, snap4, ev4, _ := telemetryRun(t, 4)
+	if tree1 != tree4 {
+		t.Fatalf("span tree differs between Workers=1 and Workers=4:\n--- w1\n%s\n--- w4\n%s", tree1, tree4)
+	}
+	if snap1 != snap4 {
+		t.Fatalf("non-timing snapshot differs between Workers=1 and Workers=4:\n--- w1\n%s\n--- w4\n%s", snap1, snap4)
+	}
+	for i := range ev1 {
+		if ev1[i] != ev4[i] {
+			t.Fatalf("event %d differs between worker counts: %q vs %q", i, ev1[i], ev4[i])
+		}
+	}
+	if tree1 == "" {
+		t.Fatal("no spans recorded — tracer was not wired through the daemon")
+	}
+}
+
+// The breaker's exact transition sequence under the pinned fault plan:
+// two panics trip it, the first probe panics and re-opens it, the
+// second probe succeeds and closes it. The EventLog pins the order, not
+// just the counts.
+func TestDaemonBreakerTransitionSequence(t *testing.T) {
+	_, _, events, st := telemetryRun(t, 1)
+	want := []string{
+		"closed->open",
+		"open->half-open",
+		"half-open->open",
+		"open->half-open",
+		"half-open->closed",
+	}
+	if len(events) != len(want) {
+		t.Fatalf("breaker transitions = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (full stream %v)", i, events[i], want[i], events)
+		}
+	}
+	if st.Breaker == nil || st.Breaker.Open {
+		t.Fatalf("breaker did not settle closed: %+v", st.Breaker)
+	}
+}
+
+// The registry mirror of Stats must agree with Stats itself, and every
+// online_* series must be registered (at zero) from construction so a
+// scrape between boot and the first op still sees the full inventory.
+func TestDaemonMetricsMirrorStats(t *testing.T) {
+	g := graphgen.Social(graphgen.FlickrLike(200, 5))
+	base := workload.LogDegree(g, 5)
+	r := freshRates(g, base)
+	init := chitchat.Solve(g, r, chitchat.Config{})
+
+	reg := telemetry.NewRegistry()
+	d, err := New(init, r, Config{Metrics: reg, DriftThreshold: 0.05, CheckEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"online_ops_total", "online_adds_total", "online_removes_total",
+		"online_rate_updates_total", "online_rescues_total",
+		"online_resolves_total", "online_reverted_total",
+		"online_solver_errors_total", "online_region_edges_total",
+		"online_boundary_repairs_total", "online_breaker_transitions_total",
+		"online_cost", "online_drift", "online_lower_bound",
+		"online_breaker_state",
+	} {
+		if _, ok := snap.Get(name); !ok {
+			t.Fatalf("series %s not registered at construction:\n%s", name, snap.String())
+		}
+	}
+	m, _ := snap.Get("online_cost")
+	if m.Value != d.Cost() {
+		t.Fatalf("online_cost = %v at boot, want %v", m.Value, d.Cost())
+	}
+
+	trace := workload.GenerateChurn(g, base, 600, workload.ChurnConfig{Seed: 3})
+	if err := d.ApplyTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	snap = reg.Snapshot()
+	for name, want := range map[string]int{
+		"online_ops_total":          st.Ops,
+		"online_adds_total":         st.Adds,
+		"online_removes_total":      st.Removes,
+		"online_rate_updates_total": st.RateUpdates,
+		"online_rescues_total":      st.Rescues,
+		"online_resolves_total":     st.Resolves,
+		"online_reverted_total":     st.Reverted,
+		"online_region_edges_total": st.RegionEdges,
+	} {
+		m, ok := snap.Get(name)
+		if !ok || int(m.Value) != want {
+			t.Fatalf("%s = %+v, want %d", name, m, want)
+		}
+	}
+	m, _ = snap.Get("online_cost")
+	if m.Value != d.Cost() {
+		t.Fatalf("online_cost = %v, want %v", m.Value, d.Cost())
+	}
+	m, _ = snap.Get("online_drift")
+	if m.Value != d.Drift() {
+		t.Fatalf("online_drift = %v, want %v", m.Value, d.Drift())
+	}
+}

@@ -46,11 +46,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"piggyback/internal/core"
 	"piggyback/internal/graph"
 	"piggyback/internal/partition"
 	"piggyback/internal/solver"
+	"piggyback/internal/telemetry"
 	"piggyback/internal/workload"
 )
 
@@ -179,6 +181,21 @@ func (s *shardSolver) Solve(ctx context.Context, p solver.Problem) (*solver.Resu
 		workers = k
 	}
 
+	// Span discipline: every shard's span is begun HERE, on the
+	// coordinator, in ascending shard order — before any worker runs —
+	// so the span tree is identical for every Workers value. Workers
+	// only End the spans (order-independent); shards never dispatched
+	// because of cancellation stay marked [open].
+	tr, parent := telemetry.FromContext(ctx)
+	var spans []telemetry.SpanID
+	if tr != nil {
+		spans = make([]telemetry.SpanID, k)
+		for idx := 0; idx < k; idx++ {
+			spans[idx] = tr.Begin(parent, "shard/solve",
+				fmt.Sprintf("shard=%d nodes=%d", idx, len(groups[idx])))
+		}
+	}
+
 	// Solve shards concurrently. Each worker builds its own inner solver
 	// (Solver instances are not safe for concurrent calls) and extracts
 	// its subgraph itself, so at most `workers` subgraphs and instance
@@ -194,7 +211,17 @@ func (s *shardSolver) Solve(ctx context.Context, p solver.Problem) (*solver.Resu
 			defer wg.Done()
 			isv, _ := reg.New(inner, innerOpts)
 			for idx := range next {
-				results <- solveShard(innerCtx, isv, g, p.Rates, groups[idx], idx)
+				sctx := innerCtx
+				if tr != nil {
+					sctx = telemetry.NewContext(innerCtx, tr, spans[idx])
+				}
+				start := time.Now()
+				r := solveShard(sctx, isv, g, p.Rates, groups[idx], idx)
+				if tr != nil {
+					tr.SetDuration(spans[idx], time.Since(start))
+					tr.End(spans[idx], shardAttrs(r))
+				}
+				results <- r
 			}
 		}()
 	}
@@ -352,6 +379,19 @@ func reconcileCut(s *core.Schedule, g *graph.Graph, r *workload.Rates, cut []gra
 		}
 	}
 	return covered
+}
+
+// shardAttrs renders the deterministic End attributes for one finished
+// shard — outcome class, iteration count, cost; never wall time.
+func shardAttrs(r shardResult) string {
+	switch {
+	case r.err != nil:
+		return "failed"
+	case r.cause != nil:
+		return fmt.Sprintf("canceled iters=%d", r.res.Report.Iterations)
+	default:
+		return fmt.Sprintf("ok iters=%d cost=%.1f", r.res.Report.Iterations, r.res.Report.Cost)
+	}
 }
 
 // solveShard extracts one shard's subgraph and solves it.

@@ -7,6 +7,31 @@ import (
 	"sync"
 )
 
+// BreakerState is the circuit-breaker state machine position:
+// closed (primary serving) → open (primary quarantined) → half-open
+// (probing the primary) → closed again on probe success, or back to
+// open on probe failure.
+type BreakerState uint8
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state in the conventional vocabulary.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
 // BreakerConfig tunes a circuit breaker. The zero value uses the
 // defaults.
 type BreakerConfig struct {
@@ -17,6 +42,13 @@ type BreakerConfig struct {
 	// ProbeEvery-th solve first probes the primary, closing the breaker
 	// on success; 0 means 4.
 	ProbeEvery int
+	// OnTransition, when non-nil, observes every state change in order.
+	// It is called OUTSIDE the breaker lock, after the transition took
+	// effect, on the solving goroutine — so under the daemon's
+	// sequential re-solves the emitted sequence is deterministic and
+	// tests can pin it exactly (typically by appending to a
+	// telemetry.EventLog). It must not call back into the breaker.
+	OnTransition func(from, to BreakerState)
 }
 
 func (cfg BreakerConfig) withDefaults() BreakerConfig {
@@ -67,7 +99,35 @@ type Breaker struct {
 	mu         sync.Mutex
 	consec     int
 	sinceProbe int
+	state      BreakerState
 	stats      BreakerStats
+}
+
+// transition moves the state machine while holding b.mu and returns the
+// (from, to) pair for emission after unlock.
+func (b *Breaker) transition(to BreakerState) [2]BreakerState {
+	from := b.state
+	b.state = to
+	b.stats.Open = to != BreakerClosed
+	return [2]BreakerState{from, to}
+}
+
+// emit fires OnTransition for each recorded transition, outside the
+// lock.
+func (b *Breaker) emit(trans [][2]BreakerState) {
+	if b.cfg.OnTransition == nil {
+		return
+	}
+	for _, t := range trans {
+		b.cfg.OnTransition(t[0], t[1])
+	}
+}
+
+// State returns the current state-machine position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
 }
 
 // NewBreaker wraps primary with a quarantine-to-fallback circuit
@@ -105,8 +165,9 @@ func hardFailure(ctx context.Context, res *Result, err error) bool {
 
 // Solve implements Solver with the breaker discipline.
 func (b *Breaker) Solve(ctx context.Context, p Problem) (*Result, error) {
+	var trans [][2]BreakerState
 	b.mu.Lock()
-	open := b.stats.Open
+	open := b.state != BreakerClosed
 	probe := false
 	if open {
 		b.sinceProbe++
@@ -114,9 +175,11 @@ func (b *Breaker) Solve(ctx context.Context, p Problem) (*Result, error) {
 			b.sinceProbe = 0
 			probe = true
 			b.stats.Probes++
+			trans = append(trans, b.transition(BreakerHalfOpen))
 		}
 	}
 	b.mu.Unlock()
+	b.emit(trans)
 
 	if !open || probe {
 		b.mu.Lock()
@@ -124,25 +187,33 @@ func (b *Breaker) Solve(ctx context.Context, p Problem) (*Result, error) {
 		b.mu.Unlock()
 		res, err := b.primary.Solve(ctx, p)
 		if !hardFailure(ctx, res, err) {
+			trans = nil
 			b.mu.Lock()
 			b.consec = 0
-			if b.stats.Open {
-				b.stats.Open = false
+			if b.state != BreakerClosed {
 				b.stats.Closes++
+				trans = append(trans, b.transition(BreakerClosed))
 			}
 			b.mu.Unlock()
+			b.emit(trans)
 			return res, err
 		}
+		trans = nil
 		b.mu.Lock()
 		b.stats.Failures++
 		b.consec++
-		if !b.stats.Open && b.consec >= b.cfg.Threshold {
-			b.stats.Open = true
+		switch {
+		case b.state == BreakerClosed && b.consec >= b.cfg.Threshold:
 			b.stats.Trips++
 			b.sinceProbe = 0
+			trans = append(trans, b.transition(BreakerOpen))
+		case b.state == BreakerHalfOpen:
+			// Probe failed: back to fully open.
+			trans = append(trans, b.transition(BreakerOpen))
 		}
-		nowOpen := b.stats.Open
+		nowOpen := b.state != BreakerClosed
 		b.mu.Unlock()
+		b.emit(trans)
 		if !nowOpen {
 			// Below threshold: surface the failure to the caller (the
 			// daemon books it as a SolverError) rather than silently

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"piggyback/internal/telemetry"
 )
 
 // Portfolio is the registry name of the racing portfolio solver.
@@ -144,14 +147,29 @@ func (s *portfolioSolver) Solve(ctx context.Context, p Problem) (*Result, error)
 	errs := make([]error, len(racers))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+	// Span discipline: Begin happens HERE, on the coordinating
+	// goroutine, in racer order — so the span tree is identical for
+	// every Workers value. Only End (order-independent) runs on the
+	// racing goroutines.
+	tr, parent := telemetry.FromContext(ctx)
 	for i := range racers {
+		mctx, span := ctx, telemetry.RootSpan
+		if tr != nil {
+			span = tr.Begin(parent, "race/"+racers[i].name, fmt.Sprintf("member=%d", i))
+			mctx = telemetry.NewContext(ctx, tr, span)
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, mctx context.Context, span telemetry.SpanID) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = racers[i].sv.Solve(ctx, p)
-		}(i)
+			start := time.Now()
+			results[i], errs[i] = racers[i].sv.Solve(mctx, p)
+			if tr != nil {
+				tr.SetDuration(span, time.Since(start))
+				tr.End(span, outcomeAttrs(results[i], errs[i]))
+			}
+		}(i, mctx, span)
 	}
 	wg.Wait()
 

@@ -6,7 +6,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"piggyback/internal/telemetry"
 )
 
 // SolveRecord is one finished solve as the metrics middleware saw it.
@@ -43,47 +46,130 @@ type SolverStats struct {
 }
 
 // SolverMetrics is the per-solver sink the WithMetrics middleware
-// records into. The zero value is ready; all methods are safe for
-// concurrent use (portfolio racers record concurrently).
+// records into. Since the telemetry layer landed it is a thin adapter
+// over a telemetry.Registry: every Record books into per-solver
+// telemetry series (solver_solves_total{solver="x"} and friends), and
+// the legacy accessors (Snapshot, Names, Table) read those series back,
+// so `cmd/experiments -middleware metrics` output is unchanged while
+// the same numbers flow to /metrics. New code that only needs the
+// counters should read the registry; this API remains for the
+// table-rendering path.
+//
+// The zero value is ready (it lazily creates a private registry); use
+// NewSolverMetrics to book into a shared registry instead. All methods
+// are safe for concurrent use (portfolio racers record concurrently).
 type SolverMetrics struct {
-	mu sync.Mutex
-	m  map[string]*SolverStats
+	mu    sync.Mutex
+	reg   *telemetry.Registry
+	insts map[string]*solverInst
 }
+
+// solverInst caches the telemetry instruments of one solver name so the
+// Record hot path is pure atomics after first touch.
+type solverInst struct {
+	solves, failures, canceled *telemetry.Counter
+	iterations, events         *telemetry.Counter
+	wall                       *telemetry.Gauge // accumulated seconds; timing by convention
+	lastCost                   *telemetry.Gauge
+	costSet                    atomic.Bool // distinguishes "no cost yet" (NaN) from 0
+}
+
+// NewSolverMetrics returns a sink that registers its series in reg
+// (which may be shared with other instrumentation; nil behaves like the
+// zero value and creates a private registry on first use).
+func NewSolverMetrics(reg *telemetry.Registry) *SolverMetrics {
+	return &SolverMetrics{reg: reg}
+}
+
+// Registry returns the registry the sink books into, creating the
+// private one if the sink was zero-valued — the bridge that lets a
+// process expose the solver counters over /metrics.
+func (s *SolverMetrics) Registry() *telemetry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	return s.reg
+}
+
+func (s *SolverMetrics) inst(solver string) *solverInst {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if in, ok := s.insts[solver]; ok {
+		return in
+	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	if s.insts == nil {
+		s.insts = map[string]*solverInst{}
+	}
+	l := telemetry.Label{Key: "solver", Value: solver}
+	in := &solverInst{
+		solves:     s.reg.Counter("solver_solves_total", l),
+		failures:   s.reg.Counter("solver_failures_total", l),
+		canceled:   s.reg.Counter("solver_canceled_total", l),
+		iterations: s.reg.Counter("solver_iterations_total", l),
+		events:     s.reg.Counter("solver_events_total", l),
+		wall:       s.reg.Gauge("solver_wall_seconds_total", l),
+		lastCost:   s.reg.Gauge("solver_last_cost", l),
+	}
+	s.insts[solver] = in
+	return in
+}
+
+// Touch pre-registers the solver's series at their zero values, so a
+// /metrics scrape shows them before the first solve completes.
+func (s *SolverMetrics) Touch(solver string) { s.inst(solver) }
 
 // Record books one finished solve under the solver's name.
 func (s *SolverMetrics) Record(solver string, rec SolveRecord) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.m == nil {
-		s.m = map[string]*SolverStats{}
-	}
-	st := s.m[solver]
-	if st == nil {
-		st = &SolverStats{LastCost: math.NaN()}
-		s.m[solver] = st
-	}
-	st.Solves++
+	in := s.inst(solver)
+	in.solves.Inc()
 	if rec.Failed {
-		st.Failures++
+		in.failures.Inc()
 	}
 	if rec.Canceled {
-		st.Canceled++
+		in.canceled.Inc()
 	}
-	st.Iterations += int64(rec.Iterations)
-	st.Events += rec.Events
-	st.Wall += rec.Wall
+	in.iterations.Add(int64(rec.Iterations))
+	in.events.Add(rec.Events)
+	in.wall.Add(rec.Wall.Seconds())
 	if !math.IsNaN(rec.Cost) {
-		st.LastCost = rec.Cost
+		in.lastCost.Set(rec.Cost)
+		in.costSet.Store(true)
 	}
+}
+
+// stats reads one solver's aggregates back out of its instruments.
+func (in *solverInst) stats() SolverStats {
+	st := SolverStats{
+		Solves:     int(in.solves.Value()),
+		Failures:   int(in.failures.Value()),
+		Canceled:   int(in.canceled.Value()),
+		Iterations: in.iterations.Value(),
+		Events:     in.events.Value(),
+		Wall:       time.Duration(in.wall.Value() * float64(time.Second)),
+		LastCost:   math.NaN(),
+	}
+	if in.costSet.Load() {
+		st.LastCost = in.lastCost.Value()
+	}
+	return st
 }
 
 // Snapshot returns a copy of the aggregates keyed by solver name.
 func (s *SolverMetrics) Snapshot() map[string]SolverStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]SolverStats, len(s.m))
-	for n, st := range s.m {
-		out[n] = *st
+	insts := make(map[string]*solverInst, len(s.insts))
+	for n, in := range s.insts {
+		insts[n] = in
+	}
+	s.mu.Unlock()
+	out := make(map[string]SolverStats, len(insts))
+	for n, in := range insts {
+		out[n] = in.stats()
 	}
 	return out
 }
@@ -92,8 +178,8 @@ func (s *SolverMetrics) Snapshot() map[string]SolverStats {
 func (s *SolverMetrics) Names() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	names := make([]string, 0, len(s.m))
-	for n := range s.m {
+	names := make([]string, 0, len(s.insts))
+	for n := range s.insts {
 		names = append(names, n)
 	}
 	sort.Strings(names)

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The telemetry-off hot path — nil instruments and a nil tracer — must
+// be ZERO allocations, pinned here with AllocsPerRun. This is the
+// contract that lets every layer carry instrumentation unconditionally.
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tr *Tracer
+	)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		g.Add(0.5)
+		h.Observe(0.01)
+		id := tr.Begin(RootSpan, "solve/x", "")
+		tr.End(id, "ok")
+		tr.SetDuration(id, time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("telemetry-off hot path allocates %v/op, want 0", n)
+	}
+}
+
+// Enabled counters and gauges are also allocation-free after
+// registration — the hot path is pure atomics.
+func TestEnabledInstrumentsZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	g := r.Gauge("drift")
+	h := r.Histogram("lat_seconds", LatencyBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(0.25)
+		h.Observe(0.003)
+	}); n != 0 {
+		t.Fatalf("enabled hot path allocates %v/op, want 0", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", LatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

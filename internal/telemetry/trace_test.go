@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerDeterministicTree(t *testing.T) {
+	build := func() string {
+		tr := NewTracer(7)
+		root := tr.Begin(RootSpan, "solve/portfolio", "n=100")
+		a := tr.Begin(root, "race/chitchat", "member=0")
+		b := tr.Begin(root, "race/nosy", "member=1")
+		tr.End(b, "canceled")
+		tr.End(a, "ok cost=12")
+		tr.End(root, "winner=chitchat")
+		return tr.Tree()
+	}
+	t1, t2 := build(), build()
+	if t1 != t2 {
+		t.Fatalf("trees differ:\n%s\nvs\n%s", t1, t2)
+	}
+	lines := strings.Split(strings.TrimSpace(t1), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 span lines, got %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "solve/portfolio#") || !strings.Contains(lines[0], "-> winner=chitchat") {
+		t.Fatalf("root line wrong: %q", lines[0])
+	}
+	// Children render in Begin order with two-space indent, even though
+	// b ended before a.
+	if !strings.HasPrefix(lines[1], "  race/chitchat#") {
+		t.Fatalf("child 0 wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  race/nosy#") {
+		t.Fatalf("child 1 wrong: %q", lines[2])
+	}
+}
+
+func TestTracerSeedChangesIDs(t *testing.T) {
+	id1 := NewTracer(1).Begin(RootSpan, "s", "")
+	id2 := NewTracer(2).Begin(RootSpan, "s", "")
+	if id1 == id2 {
+		t.Fatalf("different seeds produced the same span ID")
+	}
+	if id1 == RootSpan || id2 == RootSpan {
+		t.Fatalf("Begin returned RootSpan")
+	}
+}
+
+func TestTracerDurationsOutOfBand(t *testing.T) {
+	tr := NewTracer(3)
+	id := tr.Begin(RootSpan, "solve/x", "")
+	tr.End(id, "ok")
+	tree := tr.Tree()
+	tr.SetDuration(id, 42*time.Millisecond)
+	if tr.Tree() != tree {
+		t.Fatalf("SetDuration changed the tree rendering")
+	}
+	if tr.Duration(id) != 42*time.Millisecond {
+		t.Fatalf("duration = %v", tr.Duration(id))
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	id := tr.Begin(RootSpan, "x", "")
+	if id != RootSpan {
+		t.Fatalf("nil tracer Begin = %v", id)
+	}
+	tr.End(id, "")
+	tr.SetDuration(id, time.Second)
+	if tr.Duration(id) != 0 || tr.Len() != 0 || tr.Tree() != "" {
+		t.Fatalf("nil tracer not inert")
+	}
+	if NewContext(context.Background(), tr, id) != context.Background() {
+		t.Fatalf("NewContext with nil tracer should return ctx unchanged")
+	}
+}
+
+func TestTracerOpenSpanMarked(t *testing.T) {
+	tr := NewTracer(1)
+	tr.Begin(RootSpan, "hung", "")
+	if !strings.Contains(tr.Tree(), "[open]") {
+		t.Fatalf("unended span not marked open:\n%s", tr.Tree())
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracer(9)
+	id := tr.Begin(RootSpan, "outer", "")
+	ctx := NewContext(context.Background(), tr, id)
+	gotTr, gotID := FromContext(ctx)
+	if gotTr != tr || gotID != id {
+		t.Fatalf("FromContext = (%p, %v), want (%p, %v)", gotTr, gotID, tr, id)
+	}
+	if tr2, id2 := FromContext(context.Background()); tr2 != nil || id2 != RootSpan {
+		t.Fatalf("empty context carried a span")
+	}
+}
+
+func TestTracerConcurrentEnd(t *testing.T) {
+	// Begin on the coordinator, End from workers — the discipline the
+	// portfolio and shard instrumentation follow. The tree must come out
+	// identical regardless of End interleaving.
+	build := func() string {
+		tr := NewTracer(11)
+		root := tr.Begin(RootSpan, "solve/shard", "shards=8")
+		ids := make([]SpanID, 8)
+		for i := range ids {
+			ids[i] = tr.Begin(root, "shard/solve", "")
+		}
+		var wg sync.WaitGroup
+		for _, id := range ids {
+			wg.Add(1)
+			go func(id SpanID) {
+				defer wg.Done()
+				tr.End(id, "ok")
+			}(id)
+		}
+		wg.Wait()
+		tr.End(root, "ok")
+		return tr.Tree()
+	}
+	t1, t2 := build(), build()
+	if t1 != t2 {
+		t.Fatalf("concurrent End broke determinism:\n%s\nvs\n%s", t1, t2)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	var l EventLog
+	l.Emit("breaker", "closed->open")
+	l.Emit("breaker", "open->half-open")
+	l.Emit("other", "x")
+	if got := l.Attrs("breaker"); len(got) != 2 || got[0] != "closed->open" || got[1] != "open->half-open" {
+		t.Fatalf("Attrs = %v", got)
+	}
+	want := "0 breaker closed->open\n1 breaker open->half-open\n2 other x\n"
+	if l.String() != want {
+		t.Fatalf("String = %q, want %q", l.String(), want)
+	}
+	var nilLog *EventLog
+	nilLog.Emit("x", "y")
+	if nilLog.Events() != nil || nilLog.String() != "" || nilLog.Attrs("x") != nil {
+		t.Fatalf("nil EventLog not inert")
+	}
+}
