@@ -25,9 +25,11 @@ import (
 	"piggyback/internal/graphgen"
 	"piggyback/internal/nosy"
 	"piggyback/internal/nosymr"
+	"piggyback/internal/online"
 	"piggyback/internal/partition"
 	"piggyback/internal/refine"
 	"piggyback/internal/sampling"
+	"piggyback/internal/scenario"
 	"piggyback/internal/store"
 	"piggyback/internal/workload"
 )
@@ -501,3 +503,49 @@ func BenchmarkShardSolve1M(b *testing.B) {
 		b.ReportMetric(float64(ru.Maxrss)/1024, "peakRSS-MB")
 	}
 }
+
+// ---- Adversarial workload zoo (DESIGN.md §13) ----
+
+// benchmarkZoo drives one zoo scenario through the online daemon at the
+// acceptance geometry (the internal/scenario acceptance suite pins the
+// same counts) and reports the daemon's end state as metrics: final
+// cost, accepted re-solves, reverted attempts. CI records these in
+// BENCH_zoo.json, so the daemon's behavioral trajectory under
+// adversarial load across PRs lives next to the timing one.
+func benchmarkZoo(b *testing.B, name string) {
+	g := graphgen.Social(graphgen.FlickrLike(300, 11))
+	base := workload.LogDegree(g, 5)
+	trace, err := scenario.Default.Generate(name, g, base, scenario.Params{Ops: 800, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &workload.Rates{
+			Prod: append([]float64(nil), base.Prod...),
+			Cons: append([]float64(nil), base.Cons...),
+		}
+		d, err := online.New(chitchat.Solve(g, r, chitchat.Config{}), r, online.Config{
+			DriftThreshold: 0.05, CheckEvery: 8, BudgetFraction: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.ApplyTrace(trace); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			st := d.Stats()
+			b.ReportMetric(d.Cost(), "cost")
+			b.ReportMetric(float64(st.Resolves), "resolves")
+			b.ReportMetric(float64(st.Reverted), "reverted")
+		}
+	}
+}
+
+func BenchmarkZooFlashCrowd(b *testing.B)   { benchmarkZoo(b, scenario.FlashCrowd) }
+func BenchmarkZooDiurnal(b *testing.B)      { benchmarkZoo(b, scenario.Diurnal) }
+func BenchmarkZooCascade(b *testing.B)      { benchmarkZoo(b, scenario.Cascade) }
+func BenchmarkZooRegionChurn(b *testing.B)  { benchmarkZoo(b, scenario.RegionChurn) }
+func BenchmarkZooLDBC(b *testing.B)         { benchmarkZoo(b, scenario.LDBC) }
+func BenchmarkZooPreferential(b *testing.B) { benchmarkZoo(b, scenario.Preferential) }

@@ -10,7 +10,7 @@
 // the files AS OF that commit — the cross-PR trajectory.
 //
 //	go run ./cmd/benchtrend -git -o BENCH_trend.md -json BENCH_trend.json \
-//	    BENCH_chitchat.json BENCH_nosy.json
+//	    BENCH_chitchat.json BENCH_nosy.json BENCH_zoo.json
 //
 // With -gate <pct> (repo-relative inputs, run from the repo root), the
 // tool additionally compares the working-tree numbers of a pinned set
@@ -25,15 +25,20 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"reflect"
 	"sort"
 	"strings"
 )
 
-// entry mirrors cmd/benchjson's per-benchmark record.
+// entry mirrors cmd/benchjson's per-benchmark record. Metrics carries
+// the custom b.ReportMetric values (cost, resolves, improvement, …) so
+// behavioral artifacts like BENCH_zoo.json merge into the trajectory,
+// not just timing ones.
 type entry struct {
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	SecPerOp   float64 `json:"sec_per_op"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	SecPerOp   float64            `json:"sec_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // report mirrors cmd/benchjson's document shape.
@@ -254,25 +259,24 @@ func gitSources(files []string) ([]source, error) {
 }
 
 // sameBenchmarks reports whether two benchmark maps are identical.
+// DeepEqual because entry holds a metrics map.
 func sameBenchmarks(a, b map[string]entry) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if bv, ok := b[k]; !ok || bv != v {
-			return false
-		}
-	}
-	return true
+	return reflect.DeepEqual(a, b)
 }
 
 // renderMarkdown lays the trajectory out as one markdown table: one row
-// per source, one column per benchmark (union, sorted), seconds per op.
+// per source, one column per benchmark (union, sorted) holding seconds
+// per op, then one "bench:metric" column per reported custom metric
+// (cost, resolves, …) so behavioral artifacts trend alongside timing.
 func renderMarkdown(sources []source) string {
 	names := map[string]bool{}
+	metricCols := map[string]bool{} // "BenchmarkName:metric"
 	for _, s := range sources {
-		for n := range s.Benchmarks {
+		for n, e := range s.Benchmarks {
 			names[n] = true
+			for m := range e.Metrics {
+				metricCols[n+":"+m] = true
+			}
 		}
 	}
 	cols := make([]string, 0, len(names))
@@ -280,16 +284,24 @@ func renderMarkdown(sources []source) string {
 		cols = append(cols, n)
 	}
 	sort.Strings(cols)
+	mcols := make([]string, 0, len(metricCols))
+	for c := range metricCols {
+		mcols = append(mcols, c)
+	}
+	sort.Strings(mcols)
 
 	var b strings.Builder
 	b.WriteString("# Solver benchmark trajectory\n\n")
-	b.WriteString("Seconds per op; blank = benchmark absent at that point.\n\n")
+	b.WriteString("Seconds per op (plain columns) and reported metrics (bench:metric columns); blank = absent at that point.\n\n")
 	b.WriteString("| source |")
 	for _, c := range cols {
 		fmt.Fprintf(&b, " %s |", strings.TrimPrefix(c, "Benchmark"))
 	}
+	for _, c := range mcols {
+		fmt.Fprintf(&b, " %s |", strings.TrimPrefix(c, "Benchmark"))
+	}
 	b.WriteString("\n|---|")
-	for range cols {
+	for i := 0; i < len(cols)+len(mcols); i++ {
 		b.WriteString("---|")
 	}
 	b.WriteString("\n")
@@ -298,6 +310,14 @@ func renderMarkdown(sources []source) string {
 		for _, c := range cols {
 			if e, ok := s.Benchmarks[c]; ok {
 				fmt.Fprintf(&b, " %.4g |", e.SecPerOp)
+			} else {
+				b.WriteString("  |")
+			}
+		}
+		for _, c := range mcols {
+			name, metric, _ := strings.Cut(c, ":")
+			if v, ok := s.Benchmarks[name].Metrics[metric]; ok {
+				fmt.Fprintf(&b, " %.4g |", v)
 			} else {
 				b.WriteString("  |")
 			}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated: datasets,algos,fig4,fig5,fig6,fig7,fig8,fig9a,fig9b or all")
+		expFlag = flag.String("exp", "all", "comma-separated: datasets,algos,zoo,fig4,fig5,fig6,fig7,fig8,fig9a,fig9b or all")
 		scale   = flag.String("scale", "default", "scale preset: quick | default")
 		seed    = flag.Int64("seed", 0, "override scale seed (0 keeps preset)")
 		workers = flag.Int("workers", 0, "solver parallelism for CHITCHAT/PARALLELNOSY (0 = all cores)")
@@ -62,6 +62,7 @@ func main() {
 	runs := map[string]func(experiments.Scale) *experiments.Table{
 		"datasets": experiments.Datasets,
 		"algos":    experiments.Algorithms,
+		"zoo":      experiments.Zoo,
 		"fig4":     experiments.Fig4,
 		"fig5":     experiments.Fig5,
 		"fig6":     experiments.Fig6,
@@ -74,7 +75,7 @@ func main() {
 			return experiments.Fig9(s, experiments.BFSSampling)
 		},
 	}
-	order := []string{"datasets", "algos", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b"}
+	order := []string{"datasets", "algos", "zoo", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9a", "fig9b"}
 
 	want := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {

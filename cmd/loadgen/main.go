@@ -11,6 +11,7 @@
 //
 //	go run ./cmd/loadgen -nodes 400 -ops 1500 -requests 2000 -servers 3 -faults
 //	go run ./cmd/loadgen -telemetry 127.0.0.1:9090 -spantree
+//	go run ./cmd/loadgen -scenario flashcrowd -snapshot
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"piggyback/internal/chitchat"
@@ -28,6 +30,7 @@ import (
 	"piggyback/internal/graphgen"
 	"piggyback/internal/netstore"
 	"piggyback/internal/online"
+	"piggyback/internal/scenario"
 	"piggyback/internal/store"
 	"piggyback/internal/telemetry"
 	"piggyback/internal/workload"
@@ -39,6 +42,7 @@ func main() {
 	requests := flag.Int("requests", 2000, "client requests interleaved with the churn")
 	servers := flag.Int("servers", 3, "netstore TCP servers")
 	seed := flag.Int64("seed", 7, "graph, trace, request and jitter seed")
+	scen := flag.String("scenario", "", "replay a zoo scenario (internal/scenario) instead of the built-in churn trace; empty lists: "+strings.Join(scenario.Default.Names(), "|"))
 	workers := flag.Int("workers", 1, "regional solver workers")
 	faults := flag.Bool("faults", false, "inject the pinned fault plan on server 0 (delays, a reset, a dropped reply)")
 	timeout := flag.Duration("timeout", 150*time.Millisecond, "client round-trip timeout")
@@ -66,7 +70,21 @@ func main() {
 	g := graphgen.Social(graphgen.FlickrLike(*nodes, *seed))
 	r := workload.LogDegree(g, 5)
 	init := chitchat.Solve(g, r, chitchat.Config{})
-	trace := workload.GenerateChurn(g, r, *ops, workload.ChurnConfig{Seed: *seed})
+	var trace []workload.ChurnOp
+	if *scen != "" {
+		// Zoo scenarios emit the same churn-op stream the daemon already
+		// consumes, so the scenario's phase spans land in the same
+		// deterministic tracer as the re-solve spans below.
+		var err error
+		trace, err = scenario.Default.Generate(*scen, g, r,
+			scenario.Params{Ops: *ops, Seed: *seed, Tracer: tr, Metrics: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		trace = workload.GenerateChurn(g, r, *ops, workload.ChurnConfig{Seed: *seed})
+	}
 
 	// Serving tier: *servers TCP servers; with -faults, server 0 sits
 	// behind the pinned PR-8 chaos plan (ambient delays every connection,

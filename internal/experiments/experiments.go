@@ -74,6 +74,7 @@ type Scale struct {
 	PrototypeRequests int // requests per Fig. 6 measurement point
 	PrototypeClients  int // client goroutines for Fig. 6
 	Workers           int // solver parallelism (CHITCHAT and PARALLELNOSY); 0 = all cores
+	ZooOps            int // churn trace length per zoo scenario; 0 means 1200
 	Seed              int64
 
 	// Registry is the solver registry the registry-driven experiments
@@ -101,6 +102,7 @@ var Quick = Scale{
 	SampleCount:       2,
 	PrototypeRequests: 4000,
 	PrototypeClients:  4,
+	ZooOps:            600,
 	Seed:              1,
 }
 
@@ -112,6 +114,7 @@ var Default = Scale{
 	SampleCount:       3,
 	PrototypeRequests: 30000,
 	PrototypeClients:  8,
+	ZooOps:            2000,
 	Seed:              1,
 }
 

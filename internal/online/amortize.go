@@ -1,0 +1,246 @@
+// Exterior-amortized region pricing — the PR-4 carried follow-up
+// (ROADMAP item 4). The refine sweep only converts a direct edge to hub
+// coverage when BOTH supports are already paid for; it never spends.
+// This sweep may PURCHASE missing supports, because one support
+// amortizes two ways: across the candidates that share it (one push
+// u → w covers every u → v behind hub w) and against exterior flags the
+// incumbent already pays for (a support that is already push or pull
+// costs nothing again). After a rate spike the incumbent's direct
+// choices are priced at stale rates — exactly when a pooled refund
+// beats the sticker price of the supports.
+
+package online
+
+import (
+	"sort"
+
+	"piggyback/internal/core"
+	"piggyback/internal/graph"
+	"piggyback/internal/workload"
+)
+
+// amortizeResult summarizes one sweep.
+type amortizeResult struct {
+	Upgraded int     // direct edges converted to purchased hub coverage
+	Saved    float64 // net cost removed (refunds minus purchases)
+}
+
+// hubGroup collects the candidate edges that could be covered through
+// one hub.
+type hubGroup struct {
+	hub   graph.NodeID
+	cands []amortCand
+}
+
+type amortCand struct {
+	e      graph.EdgeID // the direct edge u → v
+	u, v   graph.NodeID
+	up     graph.EdgeID // support u → hub
+	down   graph.EdgeID // support hub → v
+	push   bool         // direct side currently paid (true: push, false: pull)
+	refund float64      // the direct price clearing the edge returns
+}
+
+// amortize runs the purchase sweep over s in place, considering only
+// the region's edges as upgrade candidates (nil region means every
+// edge). The schedule must be valid; it stays valid, and its cost is
+// strictly reduced or untouched — every hub bundle is bought only when
+// its pooled refund exceeds the price of its missing supports.
+//
+// Determinism: hubs are processed in ascending node id, candidates in
+// ascending edge id, and the drop-to-fixpoint loop always removes the
+// lowest-id unprofitable candidate first.
+func amortize(s *core.Schedule, r *workload.Rates, region []graph.EdgeID) amortizeResult {
+	g := s.Graph()
+
+	// pinned[e] counts coverage obligations on e's flags, exactly as in
+	// refine.Pass: a direct flag may only be cleared, and a support
+	// priced as already-paid, with this bookkeeping in hand.
+	pinned := make([]int32, g.NumEdges())
+	pin := func(u, w, v graph.NodeID) {
+		if up, ok := g.EdgeID(u, w); ok {
+			pinned[up]++
+		}
+		if down, ok := g.EdgeID(w, v); ok {
+			pinned[down]++
+		}
+	}
+	g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+		if s.IsCovered(e) {
+			pin(u, s.Hub(e), v)
+		}
+		return true
+	})
+
+	// Collect candidates per hub. A candidate is a region edge paying
+	// exactly one direct side that nothing depends on; each hub in
+	// out(u) ∩ in(v) that could serve it gets one entry.
+	groups := map[graph.NodeID]*hubGroup{}
+	consider := func(e graph.EdgeID, u, v graph.NodeID) {
+		if s.IsCovered(e) || pinned[e] > 0 {
+			return
+		}
+		push := s.IsPush(e)
+		if push == s.IsPull(e) {
+			return
+		}
+		refund := r.Cons[v]
+		if push {
+			refund = r.Prod[u]
+		}
+		outU := g.OutNeighbors(u)
+		loU, _ := g.OutEdgeRange(u)
+		inV := g.InNeighbors(v)
+		idsV := g.InEdgeIDs(v)
+		i, j := 0, 0
+		for i < len(outU) && j < len(inV) {
+			switch {
+			case outU[i] < inV[j]:
+				i++
+			case outU[i] > inV[j]:
+				j++
+			default:
+				if w := outU[i]; w != u && w != v {
+					gr := groups[w]
+					if gr == nil {
+						gr = &hubGroup{hub: w}
+						groups[w] = gr
+					}
+					gr.cands = append(gr.cands, amortCand{
+						e: e, u: u, v: v,
+						up: loU + graph.EdgeID(i), down: idsV[j],
+						push: push, refund: refund,
+					})
+				}
+				i++
+				j++
+			}
+		}
+	}
+	if region == nil {
+		g.Edges(func(e graph.EdgeID, u, v graph.NodeID) bool {
+			consider(e, u, v)
+			return true
+		})
+	} else {
+		for _, e := range region {
+			consider(e, g.EdgeSource(e), g.EdgeTarget(e))
+		}
+	}
+
+	hubs := make([]graph.NodeID, 0, len(groups))
+	for w := range groups {
+		hubs = append(hubs, w)
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i] < hubs[j] })
+
+	var res amortizeResult
+	taken := map[graph.EdgeID]bool{}
+	for _, w := range hubs {
+		cands := groups[w].cands[:0]
+		for _, c := range groups[w].cands {
+			if !taken[c.e] {
+				cands = append(cands, c)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].e < cands[j].e })
+
+		// price returns what support e still costs to turn on for this
+		// bundle: 0 when the needed flag is already set (exterior-paid).
+		price := func(e graph.EdgeID, isPush bool) float64 {
+			if isPush {
+				if s.IsPush(e) {
+					return 0
+				}
+				return r.Prod[g.EdgeSource(e)]
+			}
+			if s.IsPull(e) {
+				return 0
+			}
+			return r.Cons[g.EdgeTarget(e)]
+		}
+
+		// Drop-to-fixpoint: a candidate whose refund cannot even pay for
+		// the missing supports ONLY it needs is dead weight — removing it
+		// strictly improves the bundle, and removal can orphan another
+		// candidate's shared support, so iterate.
+		for {
+			dropped := false
+			needers := map[graph.EdgeID]int{}
+			for _, c := range cands {
+				if price(c.up, true) > 0 {
+					needers[c.up]++
+				}
+				if price(c.down, false) > 0 {
+					needers[c.down]++
+				}
+			}
+			for i, c := range cands {
+				excl := 0.0
+				if p := price(c.up, true); p > 0 && needers[c.up] == 1 {
+					excl += p
+				}
+				if p := price(c.down, false); p > 0 && needers[c.down] == 1 {
+					excl += p
+				}
+				if c.refund <= excl {
+					cands = append(cands[:i], cands[i+1:]...)
+					dropped = true
+					break
+				}
+			}
+			if !dropped {
+				break
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+
+		refundSum, priceSum := 0.0, 0.0
+		need := map[graph.EdgeID]bool{} // support id → needs push (true) or pull
+		for _, c := range cands {
+			refundSum += c.refund
+			if p := price(c.up, true); p > 0 && !hasKey(need, c.up) {
+				need[c.up] = true
+				priceSum += p
+			}
+			if p := price(c.down, false); p > 0 && !hasKey(need, c.down) {
+				need[c.down] = false
+				priceSum += p
+			}
+		}
+		if refundSum <= priceSum {
+			continue
+		}
+
+		// Buy the bundle: supports first, then re-serve each candidate
+		// through the hub — the schedule is valid at every step.
+		for e, isPush := range need {
+			if isPush {
+				s.SetPush(e)
+			} else {
+				s.SetPull(e)
+			}
+		}
+		for _, c := range cands {
+			if c.push {
+				s.ClearPush(c.e)
+			} else {
+				s.ClearPull(c.e)
+			}
+			s.SetCovered(c.e, w)
+			pinned[c.up]++
+			pinned[c.down]++
+			taken[c.e] = true
+			res.Upgraded++
+		}
+		res.Saved += refundSum - priceSum
+	}
+	return res
+}
+
+func hasKey(m map[graph.EdgeID]bool, k graph.EdgeID) bool {
+	_, ok := m[k]
+	return ok
+}

@@ -114,6 +114,13 @@ type Config struct {
 	// or be rolled back. 0 means no wall-clock bound. A nonzero timeout
 	// trades the daemon's strict determinism for bounded latency.
 	ResolveTimeout time.Duration
+	// DisableAmortize turns off the exterior-amortized pricing sweep
+	// that runs on every candidate patch after the refine free-coverage
+	// sweep (amortize.go): purchased hub coverage whose pooled refund
+	// beats the support price. The sweep only ever lowers the patch
+	// cost, so it is on by default; the flag exists for ablation and for
+	// pinning pre-PR-10 accept/revert sequences.
+	DisableAmortize bool
 	// ChitChat configures SolverChitChat re-solves.
 	ChitChat chitchat.Config
 	// Nosy configures SolverNosy re-solves.
@@ -197,6 +204,12 @@ type Stats struct {
 	// BoundaryRepairs counts exterior coverage supports restored by
 	// splices.
 	BoundaryRepairs int
+	// Amortized counts direct edges upgraded to purchased hub coverage
+	// by the exterior-amortization sweep, over accepted patches only;
+	// AmortizedSaved is the net cost those purchases removed. Reverted
+	// patches book nothing — their sweep work was rolled back with them.
+	Amortized      int
+	AmortizedSaved float64
 	// ResolveWall is the cumulative wall-clock time spent inside the
 	// regional solver (accepted and reverted re-solves alike) — the
 	// daemon's re-solve latency budget, what the selector is meant to
@@ -260,7 +273,7 @@ type daemonInstruments struct {
 	ops, adds, removes, rateUpdates *telemetry.Counter
 	rescues, resolves, reverted     *telemetry.Counter
 	solverErrors, regionEdges       *telemetry.Counter
-	boundaryRepairs                 *telemetry.Counter
+	boundaryRepairs, amortized      *telemetry.Counter
 	breakerTransitions              *telemetry.Counter
 	cost, drift, lowerBound         *telemetry.Gauge
 	breakerState                    *telemetry.Gauge
@@ -282,6 +295,7 @@ func newDaemonInstruments(reg *telemetry.Registry) daemonInstruments {
 		solverErrors:       reg.Counter("online_solver_errors_total"),
 		regionEdges:        reg.Counter("online_region_edges_total"),
 		boundaryRepairs:    reg.Counter("online_boundary_repairs_total"),
+		amortized:          reg.Counter("online_amortized_total"),
 		breakerTransitions: reg.Counter("online_breaker_transitions_total"),
 		cost:               reg.Gauge("online_cost"),
 		drift:              reg.Gauge("online_drift"),
@@ -677,12 +691,21 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 		d.stats.LastSolverErr = err
 		return
 	}
+	var amort amortizeResult
 	if patched != nil {
 		// The regional solver saw the region in isolation, so region
 		// edges whose free exterior coverage the extraction severed came
 		// back as direct service. The free-coverage sweep wins them back
-		// deterministically before the accept/revert decision.
+		// deterministically before the accept/revert decision, and the
+		// exterior-amortization sweep then prices support PURCHASES the
+		// isolated solve could not see: a pooled refund across the
+		// region's direct edges against supports the exterior schedule
+		// already pays for. Both only ever lower the patch cost, so a
+		// patch that loses afterwards would have lost anyway.
 		refine.Run(patched, d.r)
+		if !d.cfg.DisableAmortize {
+			amort = amortize(patched, d.r, regionEdges)
+		}
 	}
 
 	if patched == nil || patched.Cost(d.r) >= oldCost {
@@ -693,6 +716,9 @@ func (d *Daemon) resolveRegion(ctx context.Context, epochNodes []graph.NodeID) {
 	}
 	d.stats.Resolves++
 	d.inst.resolves.Inc()
+	d.stats.Amortized += amort.Upgraded
+	d.stats.AmortizedSaved += amort.Saved
+	d.inst.amortized.Add(int64(amort.Upgraded))
 	d.revertStreak = 0
 	d.m = incremental.New(patched, d.r)
 	d.m.OnRescue = d.onRescue

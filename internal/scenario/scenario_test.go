@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"testing"
+
+	"piggyback/internal/graph"
+	"piggyback/internal/graphgen"
+	"piggyback/internal/telemetry"
+	"piggyback/internal/workload"
+)
+
+func zooGraph(t *testing.T) (*graph.Graph, *workload.Rates) {
+	t.Helper()
+	g := graphgen.Social(graphgen.FlickrLike(300, 11))
+	return g, workload.LogDegree(g, 5)
+}
+
+// traceHash fingerprints an op stream. %.17g round-trips float64, so two
+// streams hash equal iff they are byte-identical after decoding.
+func traceHash(ops []workload.ChurnOp) uint64 {
+	h := fnv.New64a()
+	for _, op := range ops {
+		fmt.Fprintf(h, "%d %d %d %.17g %.17g\n", op.Kind, op.U, op.V, op.Prod, op.Cons)
+	}
+	return h.Sum64()
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 {
+		t.Fatalf("fresh registry has %d entries", r.Len())
+	}
+	gen := func(g *graph.Graph, rates *workload.Rates, p Params) []workload.ChurnOp { return nil }
+	if err := r.Register("a", gen, Meta{Summary: "s"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register("a", gen, Meta{}); !errors.Is(err, ErrDuplicateScenario) {
+		t.Fatalf("duplicate Register err = %v, want ErrDuplicateScenario", err)
+	}
+	if err := r.Register("", gen, Meta{}); err == nil {
+		t.Fatal("Register with empty name succeeded")
+	}
+	if err := r.Register("b", nil, Meta{}); err == nil {
+		t.Fatal("Register with nil generator succeeded")
+	}
+	if _, err := r.Get("nope"); !errors.Is(err, ErrUnknownScenario) {
+		t.Fatalf("Get(unknown) err = %v, want ErrUnknownScenario", err)
+	}
+	if _, err := r.Meta("nope"); !errors.Is(err, ErrUnknownScenario) {
+		t.Fatalf("Meta(unknown) err = %v, want ErrUnknownScenario", err)
+	}
+	m, err := r.Meta("a")
+	if err != nil || m.Summary != "s" {
+		t.Fatalf("Meta(a) = %+v, %v", m, err)
+	}
+	if _, err := r.Get("a"); err != nil {
+		t.Fatalf("Get(a): %v", err)
+	}
+	c := r.Clone()
+	c.MustRegister("b", gen, Meta{})
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("Clone not independent: orig %d, clone %d", r.Len(), c.Len())
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+}
+
+func TestDefaultRegistryRoster(t *testing.T) {
+	want := []string{Cascade, Diurnal, FlashCrowd, LDBC, Preferential, RegionChurn}
+	if got := Default.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Default.Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		m, err := Default.Meta(name)
+		if err != nil {
+			t.Fatalf("Meta(%s): %v", name, err)
+		}
+		if m.Summary == "" || m.Stresses == "" {
+			t.Fatalf("scenario %s registered without full metadata: %+v", name, m)
+		}
+	}
+}
+
+// pinnedTraceHash is the byte-identity contract: the exact op stream each
+// built-in scenario emits for FlickrLike(300, 11)+LogDegree rates at
+// Ops=2000 Seed=42. Any change to a generator's draws is a contract break
+// and must update the pin deliberately.
+var pinnedTraceHash = map[string]uint64{
+	Cascade:      0x991cbab2f22d136f,
+	Diurnal:      0x9112a12b44ac61f6,
+	FlashCrowd:   0x76b41a895476b1a8,
+	LDBC:         0xebeb6056a29be912,
+	Preferential: 0x059c86a0e1c9c69c,
+	RegionChurn:  0xe2629a08854f4433,
+}
+
+func TestZooDeterminismAndValidity(t *testing.T) {
+	g, r := zooGraph(t)
+	p := Params{Ops: 2000, Seed: 42}
+	for _, name := range Default.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ops, err := Default.Generate(name, g, r, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ops) != p.Ops {
+				t.Fatalf("emitted %d ops, want %d", len(ops), p.Ops)
+			}
+			again, _ := Default.Generate(name, g, r, p)
+			if !reflect.DeepEqual(ops, again) {
+				t.Fatal("same seed produced different op streams")
+			}
+			if h := traceHash(ops); h != pinnedTraceHash[name] {
+				t.Errorf("trace hash %#x, pinned %#x — generator draws changed", h, pinnedTraceHash[name])
+			}
+			other, _ := Default.Generate(name, g, r, Params{Ops: p.Ops, Seed: 43})
+			if reflect.DeepEqual(ops, other) {
+				t.Error("different seeds produced identical op streams")
+			}
+			// Every op must be valid at its position; Materialize is the
+			// reference replayer and errors on the first violation.
+			mg, mr, err := Materialize(g, r, ops)
+			if err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			if mg.NumNodes() != g.NumNodes() {
+				t.Fatalf("Materialize changed node count: %d → %d", g.NumNodes(), mg.NumNodes())
+			}
+			if len(mr.Prod) != g.NumNodes() || len(mr.Cons) != g.NumNodes() {
+				t.Fatalf("Materialize rates sized %d/%d", len(mr.Prod), len(mr.Cons))
+			}
+			for u := 0; u < mg.NumNodes(); u++ {
+				if !(mr.Prod[u] >= 0) || !(mr.Cons[u] >= 0) {
+					t.Fatalf("node %d has invalid final rates %v/%v", u, mr.Prod[u], mr.Cons[u])
+				}
+			}
+		})
+	}
+}
+
+func TestZooEmptyAndTinyInputs(t *testing.T) {
+	g, r := zooGraph(t)
+	tiny := graphgen.Social(graphgen.FlickrLike(3, 1))
+	tinyR := workload.LogDegree(tiny, 5)
+	for _, name := range Default.Names() {
+		if ops, err := Default.Generate(name, g, r, Params{Ops: 0, Seed: 1}); err != nil || len(ops) != 0 {
+			t.Errorf("%s: Ops=0 gave %d ops, err %v", name, len(ops), err)
+		}
+		if ops, err := Default.Generate(name, g, r, Params{Ops: -5, Seed: 1}); err != nil || len(ops) != 0 {
+			t.Errorf("%s: Ops<0 gave %d ops, err %v", name, len(ops), err)
+		}
+		// Tiny graphs must not hang or panic; whatever they emit must
+		// still replay cleanly.
+		ops, err := Default.Generate(name, tiny, tinyR, Params{Ops: 50, Seed: 1})
+		if err != nil {
+			t.Errorf("%s tiny: %v", name, err)
+			continue
+		}
+		if _, _, err := Materialize(tiny, tinyR, ops); err != nil {
+			t.Errorf("%s tiny: invalid trace: %v", name, err)
+		}
+	}
+}
+
+func TestZooTelemetry(t *testing.T) {
+	g, r := zooGraph(t)
+	tr := telemetry.NewTracer(7)
+	reg := telemetry.NewRegistry()
+	bare, _ := Default.Generate(FlashCrowd, g, r, Params{Ops: 600, Seed: 9})
+	ops, err := Default.Generate(FlashCrowd, g, r, Params{Ops: 600, Seed: 9, Tracer: tr, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops, bare) {
+		t.Fatal("attaching telemetry changed the op stream")
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"scenario/flashcrowd", "phase/calm", "phase/spike", "phase/decay"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree)
+		}
+	}
+	snap := reg.Snapshot().String()
+	if !strings.Contains(snap, "scenario_ops_total") || !strings.Contains(snap, `scenario="flashcrowd"`) {
+		t.Errorf("snapshot missing scenario series:\n%s", snap)
+	}
+	if !strings.Contains(snap, "scenario_phase_ops_total") || !strings.Contains(snap, `phase="spike"`) {
+		t.Errorf("snapshot missing phase series:\n%s", snap)
+	}
+}
+
+func TestMaterializeRejectsInvalidOps(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}})
+	r := &workload.Rates{Prod: []float64{1, 1, 1}, Cons: []float64{1, 1, 1}}
+	cases := []struct {
+		name string
+		op   workload.ChurnOp
+	}{
+		{"self-loop add", workload.ChurnOp{Kind: workload.OpAdd, U: 2, V: 2}},
+		{"duplicate add", workload.ChurnOp{Kind: workload.OpAdd, U: 0, V: 1}},
+		{"absent remove", workload.ChurnOp{Kind: workload.OpRemove, U: 1, V: 2}},
+		{"out of range", workload.ChurnOp{Kind: workload.OpAdd, U: 0, V: 9}},
+		{"negative rate", workload.ChurnOp{Kind: workload.OpRates, U: 0, Prod: -1, Cons: 1}},
+		{"unknown kind", workload.ChurnOp{Kind: 99, U: 0, V: 1}},
+	}
+	for _, tc := range cases {
+		if _, _, err := Materialize(g, r, []workload.ChurnOp{tc.op}); err == nil {
+			t.Errorf("%s: Materialize accepted invalid op", tc.name)
+		}
+	}
+	// And the happy path: add then remove then re-add of the same edge.
+	ops := []workload.ChurnOp{
+		{Kind: workload.OpAdd, U: 1, V: 2},
+		{Kind: workload.OpRemove, U: 1, V: 2},
+		{Kind: workload.OpAdd, U: 1, V: 2},
+		{Kind: workload.OpRates, U: 2, Prod: 0, Cons: 3.5},
+	}
+	mg, mr, err := Materialize(g, r, ops)
+	if err != nil {
+		t.Fatalf("valid replay failed: %v", err)
+	}
+	if mg.NumEdges() != 2 {
+		t.Fatalf("final graph has %d edges, want 2", mg.NumEdges())
+	}
+	if mr.Prod[2] != 0 || mr.Cons[2] != 3.5 {
+		t.Fatalf("final rates for node 2 = %v/%v", mr.Prod[2], mr.Cons[2])
+	}
+}
+
+func TestFlashCrowdSpikesCelebrity(t *testing.T) {
+	g, r := zooGraph(t)
+	ops, err := Default.Generate(FlashCrowd, g, r, Params{Ops: 2000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hottestProducer(g)
+	_, mr, err := Materialize(g, r, ops[:len(ops)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-trace (end of spike phase) the celebrity's rates must sit far
+	// above base — the ~1000× ramp is 1.8^12 ≈ 1157×.
+	if mr.Prod[c] < 500*r.Prod[c] || mr.Cons[c] < 500*r.Cons[c] {
+		t.Fatalf("celebrity %d mid-trace rates %v/%v, base %v/%v — no spike",
+			c, mr.Prod[c], mr.Cons[c], r.Prod[c], r.Cons[c])
+	}
+	// By the end of the decay phase they are back within 2× of base.
+	_, fr, err := Materialize(g, r, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Prod[c] > 2*r.Prod[c] || fr.Cons[c] > 2*r.Cons[c] {
+		t.Fatalf("celebrity %d final rates %v/%v did not decay (base %v/%v)",
+			c, fr.Prod[c], fr.Cons[c], r.Prod[c], r.Cons[c])
+	}
+}
